@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures from a
+scaled-down campaign (default 60 tests per template vs. the paper's
+~1,000; set ``REPRO_BENCH_TESTS`` to scale).  Campaigns are run once
+per session and shared across benchmark files; the ``benchmark``
+fixture then times the *analysis* step, which is the code a downstream
+user re-runs repeatedly over collected data.
+
+Every benchmark prints the same rows/series the paper reports and
+asserts the paper's qualitative shape — who wins, by roughly what
+factor, where the asymmetries lie.  Absolute numbers need not match:
+the substrate is a simulator, not the authors' 2015 testbed.
+"""
+
+import os
+
+import pytest
+
+from repro.methodology import CampaignConfig, run_campaign
+from repro.services import SERVICE_NAMES
+
+BENCH_SEED = 3
+
+
+def bench_num_tests() -> int:
+    return int(os.environ.get("REPRO_BENCH_TESTS", "60"))
+
+
+@pytest.fixture(scope="session")
+def campaigns():
+    """One scaled-down campaign per service, keyed by service name."""
+    num_tests = bench_num_tests()
+    return {
+        service: run_campaign(service, CampaignConfig(
+            num_tests=num_tests, seed=BENCH_SEED,
+        ))
+        for service in SERVICE_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def masked_campaign():
+    """A Facebook Feed campaign with client-side masking enabled."""
+    return run_campaign("facebook_feed", CampaignConfig(
+        num_tests=max(bench_num_tests() // 2, 10),
+        seed=BENCH_SEED, mask_sessions=True,
+    ))

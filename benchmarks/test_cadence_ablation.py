@@ -1,0 +1,88 @@
+"""Design ablation: Test 2's adaptive read cadence (§IV).
+
+The paper's Test 2 reads fast (300 ms) during the initial burst —
+"This allows for a higher resolution in the period when the writes are
+more likely to become visible" — then drops to 1 s to respect rate
+limits.  This bench quantifies that design choice: the same Google+
+campaign run with the paper's adaptive schedule versus a flat 1 s
+cadence (same number of reads per agent).
+
+The window-edge detection error equals the gap between consecutive
+reads around the edge, so the flat schedule inflates the measured
+content-divergence windows and misses the sub-second ones entirely.
+"""
+
+from repro.analysis import window_cdfs
+from repro.methodology import (
+    CampaignConfig,
+    PAPER_PLANS,
+    ServicePlan,
+    Test2Config,
+    run_campaign,
+)
+
+from benchmarks.conftest import BENCH_SEED, bench_num_tests
+
+
+def run_with_cadence(fast_reads, fast_period, num_tests):
+    base = PAPER_PLANS["googleplus"].test2
+    plan = ServicePlan(
+        test1=PAPER_PLANS["googleplus"].test1,
+        test2=Test2Config(
+            fast_read_period=fast_period,
+            fast_reads=fast_reads,
+            slow_read_period=1.0,
+            reads_per_agent=base.reads_per_agent,
+            inter_test_gap=base.inter_test_gap,
+            paper_num_tests=base.paper_num_tests,
+        ),
+    )
+    return run_campaign("googleplus", CampaignConfig(
+        num_tests=num_tests, seed=BENCH_SEED,
+        test_types=("test2",),
+    ), plan=plan)
+
+
+def median_window(result, pair):
+    cdf_set = window_cdfs(result, kind="content")
+    cdf = cdf_set.cdf(pair)
+    return cdf.median if cdf is not None else None
+
+
+def test_cadence_ablation(benchmark):
+    num_tests = max(bench_num_tests() // 2, 10)
+    adaptive = run_with_cadence(fast_reads=14, fast_period=0.3,
+                                num_tests=num_tests)
+    flat = run_with_cadence(fast_reads=0, fast_period=1.0,
+                            num_tests=num_tests)
+
+    medians = benchmark(lambda: {
+        "adaptive": {
+            pair: median_window(adaptive, pair)
+            for pair in (("ireland", "oregon"), ("ireland", "tokyo"))
+        },
+        "flat": {
+            pair: median_window(flat, pair)
+            for pair in (("ireland", "oregon"), ("ireland", "tokyo"))
+        },
+    })
+
+    print("\nAdaptive vs flat read cadence "
+          "(Google+ test 2 content windows):")
+    for schedule, by_pair in medians.items():
+        for pair, value in by_pair.items():
+            shown = "n/a" if value is None else f"{value:.2f}s"
+            print(f"  {schedule:9s} {pair[0]}-{pair[1]}: "
+                  f"median window {shown}")
+
+    for pair in (("ireland", "oregon"), ("ireland", "tokyo")):
+        fine = medians["adaptive"][pair]
+        coarse = medians["flat"][pair]
+        assert fine is not None, "adaptive schedule must detect windows"
+        if coarse is None:
+            continue  # flat cadence missed the pair entirely: QED
+        # The flat schedule's 1s granularity inflates measured windows.
+        assert coarse > fine, (
+            f"{pair}: flat cadence should coarsen the measured window "
+            f"(flat {coarse:.2f}s vs adaptive {fine:.2f}s)"
+        )

@@ -1,0 +1,48 @@
+"""§V campaign totals: tests, reads, and writes per service.
+
+The paper quotes, per service, the number of tests and the total reads
+and writes executed (e.g. "1,958 tests comprising 323,943 reads and
+8,982 writes on Google+").  This bench reports the same totals for the
+scaled-down campaigns and checks the structural invariants that make
+those numbers what they are: writes per test are fixed by the test
+design (6 for Test 1, 3 for Test 2), and Google+ accumulates the most
+reads per test because it converges slowest.
+"""
+
+from repro.analysis import campaign_totals
+
+
+def test_campaign_totals(campaigns, benchmark):
+    lines = benchmark(lambda: [campaign_totals(result)
+                               for result in campaigns.values()])
+    print("\nCampaign totals (cf. §V):")
+    for line in lines:
+        print(f"  {line}")
+
+    for service, result in campaigns.items():
+        test1 = result.of_type("test1")
+        test2 = result.of_type("test2")
+
+        # Write counts are fixed by the test designs.
+        for record in test1:
+            assert sum(record.writes_per_agent.values()) == 6, (
+                f"{service} {record.test_id}: test 1 must log 6 writes"
+            )
+        for record in test2:
+            assert sum(record.writes_per_agent.values()) == 3, (
+                f"{service} {record.test_id}: test 2 must log 3 writes"
+            )
+
+        expected_writes = 6 * len(test1) + 3 * len(test2)
+        assert result.total_writes == expected_writes
+        assert result.total_reads > result.total_writes
+
+    # Google+ runs by far the most reads per test-1 instance.
+    def reads_per_test1(service):
+        records = campaigns[service].of_type("test1")
+        return (sum(sum(r.reads_per_agent.values()) for r in records)
+                / len(records))
+
+    gplus = reads_per_test1("googleplus")
+    for other in ("blogger", "facebook_feed", "facebook_group"):
+        assert gplus > reads_per_test1(other)

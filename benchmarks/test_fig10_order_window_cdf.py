@@ -1,0 +1,63 @@
+"""Figure 10: cumulative distribution of order-divergence windows.
+
+Shape requirements from §V:
+
+* Order divergence appears only in Google+ and Facebook Feed.
+* Google+: re-establishing a coherent order between the pairs
+  involving Ireland "can take over ten seconds"; the detection
+  resolution is limited by the 1 s slow-phase read cadence.
+* Facebook Feed: a coherent order is re-established faster — but a
+  large fraction of divergent runs never converge within the test at
+  all (the paper reports 81-94% unconverged per pair), because the
+  ranked feed keeps re-shuffling.
+"""
+
+from repro.analysis import window_cdf_table, window_cdfs
+
+
+def test_fig10(campaigns, benchmark):
+    cdf_sets = benchmark(lambda: {
+        service: window_cdfs(result, kind="order")
+        for service, result in campaigns.items()
+    })
+
+    print("\nFigure 10: order-divergence window CDFs")
+    for service, cdf_set in cdf_sets.items():
+        if cdf_set.samples or cdf_set.unconverged:
+            print(window_cdf_table(cdf_set))
+            print()
+
+    # Only Google+ and Facebook Feed exhibit order divergence.
+    assert not cdf_sets["blogger"].samples
+    assert not cdf_sets["blogger"].unconverged
+    assert not cdf_sets["facebook_group"].samples
+    assert not cdf_sets["facebook_group"].unconverged
+
+    # Google+: multi-second windows on pairs involving Ireland (merge
+    # stalls repaired after an exponential delay).
+    gplus = cdf_sets["googleplus"]
+    gplus_samples = [value
+                     for pair, values in gplus.samples.items()
+                     if "ireland" in pair
+                     for value in values]
+    assert gplus_samples, "Google+ must show order divergence"
+    assert max(gplus_samples) >= 2.0, (
+        "some Google+ order-divergence windows must last seconds"
+    )
+
+    # Facebook Feed: divergence on every pair, with a substantial
+    # fraction of runs never converging within the test.
+    feed = cdf_sets["facebook_feed"]
+    pairs = (("oregon", "tokyo"), ("ireland", "oregon"),
+             ("ireland", "tokyo"))
+    for pair in pairs:
+        diverged = (len(feed.samples.get(pair, []))
+                    + feed.unconverged.get(pair, 0))
+        assert diverged > 0, f"FB Feed pair {pair} must diverge"
+    mean_unconverged = sum(
+        feed.unconverged_fraction(pair) for pair in pairs
+    ) / len(pairs)
+    assert mean_unconverged >= 0.3, (
+        "a large share of FB Feed order divergences never converge "
+        f"within the test (got {mean_unconverged:.0%})"
+    )

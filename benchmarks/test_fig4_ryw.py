@@ -1,0 +1,61 @@
+"""Figure 4: read-your-writes anomalies per test + location correlation.
+
+Paper shape (§V):
+
+* Google+ (Fig. 4a): more than half of the affected tests have
+  *several* violations, and the anomaly is mostly **local** — "the
+  large majority of occurrences are only perceived by a single agent"
+  (Fig. 4c).
+* Facebook Feed (Fig. 4b): most occurrences are only once or twice per
+  agent, but the anomaly is so frequent that **all three locations**
+  perceive it in a large fraction of tests.
+"""
+
+from repro.analysis import (
+    correlation_table,
+    distribution_table,
+    location_correlation,
+    occurrence_distribution,
+)
+from repro.core import READ_YOUR_WRITES
+
+
+def test_fig4(campaigns, benchmark):
+    gplus = campaigns["googleplus"]
+    feed = campaigns["facebook_feed"]
+
+    panels = benchmark(lambda: {
+        "googleplus": occurrence_distribution(gplus, READ_YOUR_WRITES),
+        "facebook_feed": occurrence_distribution(feed,
+                                                 READ_YOUR_WRITES),
+    })
+    correlations = {
+        "googleplus": location_correlation(gplus, READ_YOUR_WRITES),
+        "facebook_feed": location_correlation(feed, READ_YOUR_WRITES),
+    }
+
+    print("\nFigure 4: read-your-writes distribution per test")
+    for service in ("googleplus", "facebook_feed"):
+        print(distribution_table(panels[service]))
+        print(correlation_table(correlations[service]))
+        print()
+
+    # Facebook Feed anomaly is near-universal; Google+ is moderate.
+    feed_tests = sum(
+        panels["facebook_feed"].tests_with_anomaly(agent)
+        for agent in panels["facebook_feed"].histograms
+    )
+    assert feed_tests > 0
+    # Google+: mostly a local phenomenon (single observing agent).
+    assert correlations["googleplus"].fraction_exclusive() >= 0.5
+    # Facebook Feed: frequently global — all three locations see it in
+    # a large fraction of anomalous tests.
+    assert correlations["facebook_feed"].fraction_global() >= 0.5
+    # Facebook Feed per-agent observations are typically few (1-2
+    # bucket dominates over >10).
+    feed_panel = panels["facebook_feed"]
+    for agent, histogram in feed_panel.histograms.items():
+        low = histogram["1"] + histogram["2"] + histogram["3-10"]
+        assert low >= histogram[">10"], (
+            f"{agent}: RYW should not be dominated by >10 bursts"
+        )

@@ -1,0 +1,61 @@
+"""Figure 6: monotonic-reads anomalies per test + location correlation.
+
+Paper shape (§V): 46% of Facebook Feed tests and 25% of Google+ tests
+exhibit monotonic-reads violations; Facebook Group saw it in a single
+test over the whole month.  Google+ shows "a long tail in the number
+of observations per test" (Fig. 6a); Facebook Feed is "mostly detected
+a single time per agent per test" (Fig. 6b); both are mostly **local**
+phenomena (Fig. 6c).
+"""
+
+from repro.analysis import (
+    correlation_table,
+    distribution_table,
+    location_correlation,
+    occurrence_distribution,
+)
+from repro.core import MONOTONIC_READS
+
+
+def test_fig6(campaigns, benchmark):
+    services = ("googleplus", "facebook_feed", "facebook_group")
+    panels = benchmark(lambda: {
+        service: occurrence_distribution(campaigns[service],
+                                         MONOTONIC_READS)
+        for service in services
+    })
+    correlations = {
+        service: location_correlation(campaigns[service],
+                                      MONOTONIC_READS)
+        for service in services
+    }
+
+    print("\nFigure 6: monotonic-reads distribution per test")
+    for service in services:
+        print(distribution_table(panels[service]))
+        print(correlation_table(correlations[service]))
+        print()
+
+    def prevalence(service):
+        breakdown = correlations[service]
+        return (breakdown.tests_with_anomaly
+                / max(breakdown.total_tests, 1))
+
+    # Facebook Feed ~46%, Google+ ~25%, Facebook Group ~never.
+    assert prevalence("facebook_feed") >= 0.25
+    assert 0.05 <= prevalence("googleplus") <= 0.50
+    assert prevalence("facebook_group") <= 0.10
+
+    # Both anomalous services: mostly local.
+    for service in ("googleplus", "facebook_feed"):
+        if correlations[service].tests_with_anomaly >= 3:
+            assert correlations[service].fraction_exclusive() >= 0.5
+
+    # Facebook Feed: single observations dominate per agent (the
+    # "mostly detected a single time" claim).
+    feed_panel = panels["facebook_feed"]
+    singles = sum(histogram["1"]
+                  for histogram in feed_panel.histograms.values())
+    multis = sum(histogram["3-10"] + histogram[">10"]
+                 for histogram in feed_panel.histograms.values())
+    assert singles >= multis

@@ -1,0 +1,56 @@
+"""Figure 8: % of tests with content divergence, per agent pair.
+
+The figure behind the paper's datacenter inference.  Shape
+requirements:
+
+* Google+: divergence is very frequent (up to 85% in the paper) but
+  **less pronounced between Oregon and Tokyo** than for the two pairs
+  involving Ireland — the same-datacenter signature.
+* Facebook Feed: high (above 50%) and **uniform across all pairs**.
+* Facebook Group: extremely rare, and every divergent pair involves
+  Tokyo (the partitioned follower).
+* Blogger: zero.
+"""
+
+from repro.analysis import pair_divergence, pair_divergence_table
+
+AGENTS = ("oregon", "tokyo", "ireland")
+
+
+def test_fig8(campaigns, benchmark):
+    prevalences = benchmark(lambda: {
+        service: pair_divergence(result)
+        for service, result in campaigns.items()
+    })
+
+    print("\nFigure 8: % of tests with content divergence per pair")
+    for service, prevalence in prevalences.items():
+        print(pair_divergence_table(prevalence, AGENTS))
+        print()
+
+    def fraction(service, a, b):
+        return prevalences[service].fraction((a, b))
+
+    # Blogger: never diverges.
+    assert not prevalences["blogger"].counts
+
+    # Google+: Oregon-Tokyo (same DC) diverges far less than pairs
+    # involving Ireland, which are near-ubiquitous.
+    gplus_ot = fraction("googleplus", "oregon", "tokyo")
+    gplus_oi = fraction("googleplus", "oregon", "ireland")
+    gplus_ti = fraction("googleplus", "tokyo", "ireland")
+    assert gplus_oi >= 0.70 and gplus_ti >= 0.70
+    assert gplus_ot < 0.5 * min(gplus_oi, gplus_ti)
+
+    # Facebook Feed: above 50% and uniform across pairs.
+    feed = [fraction("facebook_feed", a, b)
+            for a, b in (("oregon", "tokyo"), ("oregon", "ireland"),
+                         ("tokyo", "ireland"))]
+    assert all(value >= 0.40 for value in feed)
+    assert max(feed) - min(feed) <= 0.35, "FB Feed should be uniform"
+
+    # Facebook Group: rare, and only pairs involving Tokyo.
+    group = prevalences["facebook_group"]
+    total = sum(group.counts.values())
+    assert total <= 0.15 * group.total_tests
+    assert all("tokyo" in pair for pair in group.counts)

@@ -1,0 +1,58 @@
+"""Figure 9: cumulative distribution of content-divergence windows.
+
+Shape requirements from §V:
+
+* Google+ "tak[es] substantially longer than the remaining services"
+  to converge — windows on the order of seconds — and the
+  Oregon-Tokyo pair converges **much faster** than the pairs involving
+  Ireland (same-datacenter inference, Fig. 9a).
+* Facebook Feed (Fig. 9b) diverges across **all** pairs with roughly
+  uniform, shorter convergence times.
+* Facebook Group (Fig. 9c): divergence involving the Tokyo follower
+  takes longest to resolve.
+"""
+
+from repro.analysis import window_cdf_table, window_cdfs
+
+
+def median(cdf_set, pair):
+    cdf = cdf_set.cdf(pair)
+    return cdf.median if cdf is not None else None
+
+
+def test_fig9(campaigns, benchmark):
+    cdf_sets = benchmark(lambda: {
+        service: window_cdfs(result, kind="content")
+        for service, result in campaigns.items()
+    })
+
+    print("\nFigure 9: content-divergence window CDFs")
+    for service, cdf_set in cdf_sets.items():
+        if cdf_set.samples or cdf_set.unconverged:
+            print(window_cdf_table(cdf_set))
+            print()
+
+    gplus = cdf_sets["googleplus"]
+    feed = cdf_sets["facebook_feed"]
+
+    # Google+ inter-DC pairs: windows on the order of seconds.
+    gplus_oi = median(gplus, ("ireland", "oregon"))
+    gplus_ti = median(gplus, ("ireland", "tokyo"))
+    assert gplus_oi is not None and gplus_ti is not None
+    assert gplus_oi >= 0.5 and gplus_ti >= 0.5
+
+    # Oregon-Tokyo converges much faster when it diverges at all.
+    gplus_ot = median(gplus, ("oregon", "tokyo"))
+    if gplus_ot is not None:
+        assert gplus_ot < 0.7 * min(gplus_oi, gplus_ti)
+
+    # Facebook Feed: all pairs diverge with broadly similar windows,
+    # faster than Google+'s inter-DC convergence.
+    feed_medians = [median(feed, pair) for pair in
+                    (("oregon", "tokyo"), ("ireland", "oregon"),
+                     ("ireland", "tokyo"))]
+    assert all(value is not None for value in feed_medians)
+    assert max(feed_medians) <= max(gplus_oi, gplus_ti)
+
+    # Blogger: no windows at all.
+    assert not cdf_sets["blogger"].samples

@@ -1,0 +1,63 @@
+"""Substrate performance: the discrete-event kernel and a full test.
+
+Not a paper figure — a contributor-facing benchmark establishing the
+simulator's cost model: raw event throughput, process context-switch
+cost, and the wall-clock price of one complete Test 1 instance (the
+unit everything else scales by).  Regressions here multiply directly
+into campaign times.
+"""
+
+from repro.methodology import PAPER_PLANS, MeasurementWorld, run_test1
+from repro.sim import Simulator, spawn
+
+from benchmarks.conftest import BENCH_SEED
+
+
+def drain_events(count=20_000):
+    sim = Simulator()
+    remaining = [count]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule_after(0.001, tick)
+
+    sim.schedule_after(0.0, tick)
+    sim.run()
+    return sim.events_processed
+
+
+def test_event_loop_throughput(benchmark):
+    processed = benchmark(drain_events)
+    assert processed == 20_000
+
+
+def ping_pong_processes(rounds=2_000):
+    sim = Simulator()
+
+    def worker():
+        for _ in range(rounds):
+            yield 0.001
+
+    process = spawn(sim, worker)
+    sim.run()
+    return process
+
+
+def test_process_switch_throughput(benchmark):
+    process = benchmark(ping_pong_processes)
+    assert not process.alive
+
+
+def one_test1_instance():
+    world = MeasurementWorld("blogger", seed=BENCH_SEED)
+    process = spawn(world.sim, run_test1, world, "bench",
+                    PAPER_PLANS["blogger"].test1)
+    while not process.completion.done:
+        world.sim.run_until(world.sim.now + 60.0)
+    return process.completion.value
+
+
+def test_full_test1_instance_cost(benchmark):
+    trace = benchmark(one_test1_instance)
+    assert len(trace.writes()) == 6

@@ -1,0 +1,46 @@
+"""Compare the consistency of all four measured services (paper §V).
+
+Runs a scaled-down version of the paper's full study — both test
+templates against Google+, Blogger, Facebook Feed, and Facebook Group —
+and prints the complete set of figures: anomaly prevalence (Fig. 3),
+per-test distributions and location correlation (Figs. 4-7), per-pair
+content divergence (Fig. 8), and the divergence-window CDFs
+(Figs. 9-10).
+
+Run:  python examples/service_comparison.py [tests-per-type] [seed]
+"""
+
+import sys
+
+from repro.analysis import full_report
+from repro.methodology import CampaignConfig, run_campaign
+from repro.services import SERVICE_NAMES
+
+
+def main() -> None:
+    num_tests = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    results = {}
+    for service in SERVICE_NAMES:
+        print(f"measuring {service} "
+              f"({num_tests} tests per template)...", flush=True)
+        results[service] = run_campaign(
+            service, CampaignConfig(num_tests=num_tests, seed=seed)
+        )
+
+    print()
+    print(full_report(results))
+
+    print("\nHeadline (cf. paper §V):")
+    print("  - Blogger shows no anomalies: strong consistency.")
+    print("  - Facebook Feed violates nearly everything: interest-"
+          "ranked reads.")
+    print("  - Facebook Group reverses same-second writes "
+          "deterministically.")
+    print("  - Google+ diverges across datacenters for seconds at a "
+          "time.")
+
+
+if __name__ == "__main__":
+    main()

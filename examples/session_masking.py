@@ -1,0 +1,59 @@
+"""Client-side masking: enforcing session guarantees above a weak API.
+
+The paper's §V discussion claims most session guarantees "can be easily
+enforced at the application level" with session ids, caching, and
+replay — without blocking on cross-replica synchronization — and leaves
+the details as future work.  This example supplies the demonstration:
+the same Facebook Feed campaign is run twice, once raw and once with
+every agent's session wrapped in
+:class:`repro.masking.SessionGuaranteeClient`.
+
+Expected outcome: the four session-guarantee anomalies vanish under
+masking, while the divergence anomalies (which are relations *between*
+clients) shrink but survive — client-side caching cannot reconcile two
+different users' views.
+
+Run:  python examples/session_masking.py
+"""
+
+from repro.core import ALL_ANOMALIES, SESSION_ANOMALIES
+from repro.methodology import CampaignConfig, run_campaign
+
+
+def main() -> None:
+    service = "facebook_feed"
+    print(f"Measuring {service} with and without client-side "
+          f"masking...\n")
+
+    results = {}
+    for masked in (False, True):
+        label = "masked" if masked else "raw"
+        results[label] = run_campaign(service, CampaignConfig(
+            num_tests=30, seed=11, mask_sessions=masked,
+        ))
+
+    print(f"{'anomaly':24s}{'raw':>10s}{'masked':>10s}")
+    print("-" * 44)
+    for anomaly in ALL_ANOMALIES:
+        raw = results["raw"].summary()[anomaly]
+        masked = results["masked"].summary()[anomaly]
+        print(f"{anomaly:24s}{raw:9.0%}{masked:10.0%}")
+
+    session_masked = all(
+        results["masked"].summary()[anomaly] == 0.0
+        for anomaly in SESSION_ANOMALIES
+    )
+    print()
+    if session_masked:
+        print("All four session guarantees hold under masking — "
+              "with pure client-side caching and replay, no blocking "
+              "on replica synchronization (the paper's §V claim).")
+    else:
+        print("WARNING: masking left some session anomalies; "
+              "this should not happen.")
+    print("Divergence anomalies survive: they relate different "
+          "clients' views, which no single client can reconcile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP-660
+editable installs (``pip install -e .``) cannot build a wheel.  This
+shim lets ``python setup.py develop`` provide the editable install;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of *Characterizing the Consistency of Online
+Services* (Freitas, Leitão, Preguiça, Rodrigues — DSN 2016).
+
+The library has three layers:
+
+1. **Substrates** — a deterministic discrete-event simulator
+   (:mod:`repro.sim`), a wide-area network with the paper's EC2
+   geography (:mod:`repro.net`), geo-replication protocols
+   (:mod:`repro.replication`), and black-box web-API service models of
+   Google+, Blogger, Facebook Feed, and Facebook Group
+   (:mod:`repro.services`, :mod:`repro.webapi`).
+2. **The paper's contribution** — formal consistency-anomaly checkers
+   and divergence-window metrics (:mod:`repro.core`), the Cristian-style
+   clock-sync protocol (:mod:`repro.clocksync`), the two black-box test
+   templates and the campaign runner (:mod:`repro.methodology`,
+   :mod:`repro.agents`).
+3. **Analysis** — prevalence, distributions, correlation, and CDFs that
+   regenerate every table and figure in the paper
+   (:mod:`repro.analysis`), plus the client-side session-guarantee
+   masking layer the paper sketches as future work
+   (:mod:`repro.masking`).
+
+Quickstart::
+
+    from repro.methodology import CampaignConfig, run_campaign
+    from repro.analysis import prevalence_table
+
+    results = run_campaign("googleplus", CampaignConfig(num_tests=50, seed=7))
+    print(prevalence_table({"googleplus": results}))
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "run_campaign",
+    "CampaignConfig",
+    "MeasurementWorld",
+    "check_all",
+    "prevalence_table",
+    "full_report",
+    "save_campaign",
+    "load_campaign",
+    "SERVICE_NAMES",
+]
+
+
+def __getattr__(name):
+    """Lazily re-export the high-level API.
+
+    Keeps ``import repro`` light while letting users write
+    ``repro.run_campaign(...)`` without hunting through subpackages.
+    """
+    if name in ("run_campaign", "CampaignConfig", "MeasurementWorld"):
+        import repro.methodology as methodology
+
+        return getattr(methodology, name)
+    if name == "check_all":
+        from repro.core import check_all
+
+        return check_all
+    if name in ("prevalence_table", "full_report"):
+        import repro.analysis as analysis
+
+        return getattr(analysis, name)
+    if name in ("save_campaign", "load_campaign"):
+        import repro.io as io
+
+        return getattr(io, name)
+    if name == "SERVICE_NAMES":
+        from repro.services import SERVICE_NAMES
+
+        return SERVICE_NAMES
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,6 @@
+"""Measurement agents and the coordinator (§IV deployment roles)."""
+
+from repro.agents.agent import MeasurementAgent
+from repro.agents.coordinator import Coordinator
+
+__all__ = ["MeasurementAgent", "Coordinator"]

@@ -1,0 +1,79 @@
+"""Analysis pipeline: regenerate every table and figure of the paper.
+
+* :mod:`repro.analysis.prevalence` — Figure 3.
+* :mod:`repro.analysis.distributions` — Figures 4–7 panels (a)/(b).
+* :mod:`repro.analysis.correlation` — Figures 4c/5d/6c/7c.
+* :mod:`repro.analysis.divergence` — Figure 8.
+* :mod:`repro.analysis.cdf` — Figures 9 and 10.
+* :mod:`repro.analysis.report` — one-call textual report of everything.
+"""
+
+from repro.analysis.cdf import WindowCdf, window_cdf_table, window_cdfs
+from repro.analysis.correlation import (
+    CorrelationBreakdown,
+    correlation_table,
+    location_correlation,
+)
+from repro.analysis.distributions import (
+    DistributionPanel,
+    distribution_table,
+    occurrence_distribution,
+)
+from repro.analysis.divergence import (
+    PairPrevalence,
+    pair_divergence,
+    pair_divergence_table,
+)
+from repro.analysis.prevalence import (
+    PrevalenceRow,
+    prevalence_rows,
+    prevalence_table,
+    assessing_test_type,
+)
+from repro.analysis.latency import (
+    LatencyBreakdown,
+    latency_table,
+    operation_latencies,
+)
+from repro.analysis.plots import CdfSeries, render_cdf
+from repro.analysis.report import campaign_totals, full_report
+from repro.analysis.timeline import render_timeline
+from repro.analysis.validation import (
+    WindowErrorReport,
+    WindowErrorSample,
+    ground_truth_trace,
+    summarize_window_errors,
+    window_measurement_errors,
+)
+
+__all__ = [
+    "PrevalenceRow",
+    "prevalence_rows",
+    "prevalence_table",
+    "assessing_test_type",
+    "DistributionPanel",
+    "occurrence_distribution",
+    "distribution_table",
+    "CorrelationBreakdown",
+    "location_correlation",
+    "correlation_table",
+    "PairPrevalence",
+    "pair_divergence",
+    "pair_divergence_table",
+    "WindowCdf",
+    "window_cdfs",
+    "window_cdf_table",
+    "campaign_totals",
+    "full_report",
+    "CdfSeries",
+    "render_cdf",
+    "LatencyBreakdown",
+    "operation_latencies",
+    "latency_table",
+    "render_timeline",
+    "ground_truth_trace",
+    "WindowErrorSample",
+    "WindowErrorReport",
+    "window_measurement_errors",
+    "summarize_window_errors",
+]

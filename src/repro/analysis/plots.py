@@ -1,0 +1,71 @@
+"""ASCII plotting for terminal reports.
+
+The paper presents its window results as CDF plots (Figures 9 and 10);
+:func:`render_cdf` draws the same curves as a character grid so the CLI
+report and examples can show the distribution shape, not just
+quantiles.  Multiple series share one set of axes, distinguished by
+marker characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import EmpiricalCDF
+from repro.errors import AnalysisError
+
+__all__ = ["CdfSeries", "render_cdf"]
+
+#: Markers assigned to series, in order.
+MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    """One labelled CDF curve."""
+
+    label: str
+    cdf: EmpiricalCDF
+
+
+def render_cdf(series: list[CdfSeries], width: int = 64,
+               height: int = 16, x_label: str = "seconds") -> str:
+    """Draw one or more CDFs on a shared character grid.
+
+    The x-axis spans [0, max sample] across all series; the y-axis is
+    the cumulative fraction [0, 1].  Each series paints its marker at
+    the cell nearest to its curve; later series win ties.
+    """
+    if not series:
+        raise AnalysisError("render_cdf needs at least one series")
+    if width < 16 or height < 4:
+        raise AnalysisError("grid too small to be readable")
+    x_max = max(entry.cdf.samples[-1] for entry in series)
+    if x_max <= 0:
+        x_max = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, entry in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        for column in range(width):
+            x = x_max * column / (width - 1)
+            fraction = entry.cdf(x)
+            row = int(round((1.0 - fraction) * (height - 1)))
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        axis = f"{fraction:4.2f} |"
+        lines.append(axis + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = "0"
+    right = f"{x_max:.2f} {x_label}"
+    pad = max(width - len(left) - len(right), 1)
+    lines.append("      " + left + " " * pad + right)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {entry.label}"
+        for i, entry in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

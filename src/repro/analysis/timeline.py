@@ -1,0 +1,74 @@
+"""ASCII test timelines (the paper's Figures 1 and 2).
+
+The paper illustrates its two test templates with per-agent timelines:
+writes as labelled boxes, background reads as ticks.
+:func:`render_timeline` draws the same picture for any recorded
+:class:`~repro.core.trace.TestTrace`, which makes test behaviour
+reviewable at a glance — handy in examples and when debugging a
+methodology change.
+
+Legend: ``|`` read response, ``[M1###]`` a write from invocation to
+response (labelled with the message's short id), ``.`` idle time.
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import TestTrace
+from repro.errors import AnalysisError
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(trace: TestTrace, width: int = 96) -> str:
+    """Render one test's per-agent operation timeline."""
+    if width < 32:
+        raise AnalysisError("timeline width too small to be readable")
+    if not trace.operations:
+        raise AnalysisError("cannot render an empty trace")
+
+    times = ([trace.corrected_invoke(op) for op in trace.operations]
+             + [trace.corrected_response(op)
+                for op in trace.operations])
+    t_min, t_max = min(times), max(times)
+    span = max(t_max - t_min, 1e-9)
+
+    def column(when: float) -> int:
+        fraction = (when - t_min) / span
+        return min(int(fraction * (width - 1)), width - 1)
+
+    lines = [
+        f"{trace.test_id} ({trace.test_type}, "
+        f"{len(trace.operations)} operations, {span:.1f}s)"
+    ]
+    for agent in trace.agents:
+        lane = ["."] * width
+        for read in trace.reads_by(agent):
+            lane[column(trace.corrected_response(read))] = "|"
+        for write in trace.writes_by(agent):
+            start = column(trace.corrected_invoke(write))
+            end = max(column(trace.corrected_response(write)),
+                      start + 1)
+            label = _short_id(write.message_id)
+            box = f"[{label}" + "#" * max(end - start - len(label) - 1,
+                                          0)
+            for offset, char in enumerate(box):
+                position = start + offset
+                if position < width:
+                    lane[position] = char
+            if end < width:
+                lane[end] = "]"
+        lines.append(f"{agent:>8s} " + "".join(lane))
+    axis = [" "] * width
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        position = min(int(fraction * (width - 1)), width - 1)
+        axis[position] = "+"
+    lines.append(" " * 9 + "".join(axis))
+    lines.append(
+        " " * 9 + f"0{'':{width - 10}}{span:5.1f}s"
+    )
+    return "\n".join(lines)
+
+
+def _short_id(message_id: str) -> str:
+    """'service-test1-3.M4' -> 'M4'."""
+    return message_id.rsplit(".", 1)[-1]

@@ -1,0 +1,184 @@
+"""Command-line interface: run campaigns and print the paper's figures.
+
+Examples
+--------
+Run a scaled-down campaign against one service and print its summary::
+
+    repro-consistency run --service googleplus --tests 50 --seed 7
+
+Regenerate every figure for all four services::
+
+    repro-consistency figures --tests 100 --seed 7
+
+Quantify the Cristian clock-sync protocol's accuracy::
+
+    repro-consistency clocksync --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import full_report, prevalence_table
+from repro.clocksync import estimate_clock_delta
+from repro.methodology import (
+    CampaignConfig,
+    MeasurementWorld,
+    run_campaign,
+)
+from repro.services import EXTENSION_SERVICE_NAMES, SERVICE_NAMES
+from repro.sim import spawn
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-consistency",
+        description=(
+            "Reproduction of 'Characterizing the Consistency of Online "
+            "Services' (DSN 2016): probe simulated service APIs for "
+            "consistency anomalies."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser(
+        "run", help="run one service's measurement campaign"
+    )
+    run_cmd.add_argument(
+        "--service", required=True,
+        choices=SERVICE_NAMES + EXTENSION_SERVICE_NAMES,
+    )
+    run_cmd.add_argument(
+        "--masked", action="store_true",
+        help="wrap agent sessions in the client-side masking layer",
+    )
+    run_cmd.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="save the campaign's records as JSON for later analysis",
+    )
+    _add_campaign_args(run_cmd)
+
+    report_cmd = sub.add_parser(
+        "report", help="regenerate figures from saved campaign files"
+    )
+    report_cmd.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="campaign JSON files written by 'run --output'",
+    )
+
+    figures_cmd = sub.add_parser(
+        "figures", help="regenerate every figure for chosen services"
+    )
+    figures_cmd.add_argument(
+        "--services", default=",".join(SERVICE_NAMES),
+        help="comma-separated service names (default: all four)",
+    )
+    _add_campaign_args(figures_cmd)
+
+    sync_cmd = sub.add_parser(
+        "clocksync", help="measure the clock-sync protocol's accuracy"
+    )
+    sync_cmd.add_argument("--seed", type=int, default=0)
+    sync_cmd.add_argument("--samples", type=int, default=8,
+                          help="time queries per estimate")
+
+    return parser
+
+
+def _add_campaign_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--tests", type=int, default=50,
+                     help="tests per test type (paper ran ~1000)")
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument("--gap", type=float, default=15.0,
+                     help="virtual cool-down between tests (seconds)")
+
+
+def _config(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        num_tests=args.tests, seed=args.seed,
+        inter_test_gap=args.gap,
+        mask_sessions=getattr(args, "masked", False),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_campaign(args.service, _config(args))
+    print(f"service: {result.service}")
+    print(f"tests:   {result.total_tests} "
+          f"({args.tests} per test type)")
+    print(f"reads:   {result.total_reads}")
+    print(f"writes:  {result.total_writes}")
+    print()
+    print(prevalence_table({result.service: result}))
+    if args.output:
+        from repro.io import save_campaign
+
+        path = save_campaign(result, args.output)
+        print(f"\nsaved campaign records to {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.io import load_campaign
+
+    results = {}
+    for filename in args.files:
+        result = load_campaign(filename)
+        results[result.service] = result
+    print(full_report(results))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    services = [name.strip() for name in args.services.split(",")
+                if name.strip()]
+    unknown = set(services) - set(SERVICE_NAMES)
+    if unknown:
+        print(f"unknown services: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    results = {
+        service: run_campaign(service, _config(args))
+        for service in services
+    }
+    print(full_report(results))
+    return 0
+
+
+def _cmd_clocksync(args: argparse.Namespace) -> int:
+    world = MeasurementWorld("blogger", seed=args.seed)
+    print("Cristian-style delta estimation vs. simulator ground truth")
+    print(f"{'agent':10s}{'true delta':>12s}{'estimate':>12s}"
+          f"{'error':>10s}{'bound':>10s}")
+    for agent in world.agents:
+        process = spawn(
+            world.sim, estimate_clock_delta,
+            world.network, world.coordinator.host,
+            world.coordinator.clock, agent.host,
+            samples=args.samples,
+        )
+        world.sim.run_until(world.sim.now + 60.0)
+        estimate = process.completion.value
+        true_delta = (agent.clock.now()
+                      - world.coordinator.clock.now())
+        error = abs(estimate.delta - true_delta)
+        print(f"{agent.name:10s}{true_delta:12.4f}{estimate.delta:12.4f}"
+              f"{error:10.4f}{estimate.uncertainty:10.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+        "clocksync": _cmd_clocksync,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

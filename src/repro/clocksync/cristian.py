@@ -1,0 +1,115 @@
+"""Cristian-style clock-delta estimation (the paper's §IV protocol).
+
+The paper disables NTP (step adjustments mid-measurement would corrupt
+divergence windows) and instead has the coordinator estimate each
+agent's clock delta directly: "a coordinator process conducts a series
+of queries to the different agents to request a reading of their
+current local time, and also measures the RTT to fulfill that query.
+The clock deltas are then calculated by assuming the time spent to send
+the request and receive the reply are the same, and taking the average
+over all the estimates of this delta.  The uncertainty of this
+computation is half of the RTT values."
+
+We adopt the coordinator's clock as the *reference frame*: an agent's
+local reading converts to reference time as ``reference = local -
+delta``.  Deltas are re-estimated before every test iteration, exactly
+as in the paper, so slow drift between estimates is the residual error
+(quantified in ``benchmarks/test_clocksync_accuracy.py`` against the
+simulator's ground truth — a validation the paper could not run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, HostUnreachableError
+from repro.net.network import Network
+from repro.sim.clock import DriftingClock
+
+__all__ = ["DeltaEstimate", "estimate_clock_delta", "TIME_QUERY"]
+
+#: RPC payload kind agents answer with their local clock reading.
+TIME_QUERY = {"kind": "time_query"}
+
+
+@dataclass(frozen=True)
+class DeltaEstimate:
+    """One agent's estimated clock delta relative to the coordinator.
+
+    ``local = reference + delta`` — i.e. positive delta means the
+    agent's clock runs ahead of the coordinator's.
+    """
+
+    agent_host: str
+    delta: float
+    #: Half the mean RTT: the method's intrinsic uncertainty bound.
+    uncertainty: float
+    mean_rtt: float
+    samples: int
+
+    def correct(self, local_time: float) -> float:
+        """Convert an agent-local reading to reference time."""
+        return local_time - self.delta
+
+
+def estimate_clock_delta(network: Network, coordinator_host: str,
+                         coordinator_clock: DriftingClock,
+                         agent_host: str, samples: int = 8,
+                         spacing: float = 0.05):
+    """Process generator estimating one agent's clock delta.
+
+    Run it with :func:`repro.sim.spawn`; the process's return value is
+    a :class:`DeltaEstimate`.
+
+    Parameters
+    ----------
+    samples:
+        Number of time-query round trips to average over.
+    spacing:
+        Idle time between successive queries (avoids self-queuing).
+    """
+    if samples < 1:
+        raise ConfigurationError("need at least one sample")
+    deltas: list[float] = []
+    rtts: list[float] = []
+    for index in range(samples):
+        sent_at = coordinator_clock.now()
+        try:
+            reply = yield network.rpc(coordinator_host, agent_host,
+                                      dict(TIME_QUERY))
+        except HostUnreachableError:
+            # A lost query costs one sample, not the whole estimate —
+            # month-long measurement runs shrug off transient loss.
+            if index != samples - 1 and spacing > 0:
+                yield spacing
+            continue
+        received_at = coordinator_clock.now()
+        rtt = received_at - sent_at
+        agent_time = reply["local_time"]
+        # Cristian's assumption: the reply was generated at the RTT
+        # midpoint, so the coordinator's clock then read sent_at+rtt/2.
+        deltas.append(agent_time - (sent_at + rtt / 2.0))
+        rtts.append(rtt)
+        if index != samples - 1 and spacing > 0:
+            yield spacing
+    if not deltas:
+        raise HostUnreachableError(
+            f"no time-query round trips to {agent_host!r} succeeded"
+        )
+    mean_rtt = sum(rtts) / len(rtts)
+    return DeltaEstimate(
+        agent_host=agent_host,
+        delta=sum(deltas) / len(deltas),
+        uncertainty=mean_rtt / 2.0,
+        mean_rtt=mean_rtt,
+        samples=samples,
+    )
+
+
+def make_time_query_handler(clock: DriftingClock):
+    """RPC handler an agent registers to answer time queries."""
+    def handler(payload, src):
+        if isinstance(payload, dict) and payload.get("kind") == "time_query":
+            return {"local_time": clock.now()}
+        raise ValueError(f"unexpected payload {payload!r}")
+    return handler

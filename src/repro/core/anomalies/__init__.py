@@ -1,0 +1,76 @@
+"""Consistency-anomaly checkers (the paper's §III made executable).
+
+Six checkers implement the paper's six anomaly predicates:
+
+======================  =============================================
+Constant                Checker
+======================  =============================================
+READ_YOUR_WRITES        :class:`ReadYourWritesChecker`
+MONOTONIC_WRITES        :class:`MonotonicWritesChecker`
+MONOTONIC_READS         :class:`MonotonicReadsChecker`
+WRITES_FOLLOW_READS     :class:`WritesFollowReadsChecker`
+CONTENT_DIVERGENCE      :class:`ContentDivergenceChecker`
+ORDER_DIVERGENCE        :class:`OrderDivergenceChecker`
+======================  =============================================
+
+Run them all at once with :func:`check_all`, which returns a
+:class:`TraceReport`.
+"""
+
+from repro.core.anomalies.base import (
+    ALL_ANOMALIES,
+    CONTENT_DIVERGENCE,
+    DIVERGENCE_ANOMALIES,
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    ORDER_DIVERGENCE,
+    READ_YOUR_WRITES,
+    SESSION_ANOMALIES,
+    WRITES_FOLLOW_READS,
+    AnomalyChecker,
+    AnomalyObservation,
+)
+from repro.core.anomalies.content_divergence import (
+    ContentDivergenceChecker,
+    views_content_diverged,
+)
+from repro.core.anomalies.monotonic_reads import MonotonicReadsChecker
+from repro.core.anomalies.monotonic_writes import MonotonicWritesChecker
+from repro.core.anomalies.order_divergence import (
+    OrderDivergenceChecker,
+    first_inversion,
+    views_order_diverged,
+)
+from repro.core.anomalies.read_your_writes import ReadYourWritesChecker
+from repro.core.anomalies.registry import (
+    TraceReport,
+    check_all,
+    default_checkers,
+)
+from repro.core.anomalies.writes_follow_reads import WritesFollowReadsChecker
+
+__all__ = [
+    "READ_YOUR_WRITES",
+    "MONOTONIC_WRITES",
+    "MONOTONIC_READS",
+    "WRITES_FOLLOW_READS",
+    "CONTENT_DIVERGENCE",
+    "ORDER_DIVERGENCE",
+    "SESSION_ANOMALIES",
+    "DIVERGENCE_ANOMALIES",
+    "ALL_ANOMALIES",
+    "AnomalyChecker",
+    "AnomalyObservation",
+    "ReadYourWritesChecker",
+    "MonotonicWritesChecker",
+    "MonotonicReadsChecker",
+    "WritesFollowReadsChecker",
+    "ContentDivergenceChecker",
+    "OrderDivergenceChecker",
+    "views_content_diverged",
+    "views_order_diverged",
+    "first_inversion",
+    "TraceReport",
+    "check_all",
+    "default_checkers",
+]

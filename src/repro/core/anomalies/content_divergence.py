@@ -1,0 +1,116 @@
+"""Content Divergence checker.
+
+Paper definition (§III.2): two reads by clients ``c1`` and ``c2``
+returning ``S1`` and ``S2`` exhibit a *content divergence* anomaly
+when::
+
+    ∃ x ∈ S1, y ∈ S2 : x ∉ S2 ∧ y ∉ S1
+
+i.e. each client sees a write the other does not — a symmetric
+difference in *both* directions.  One-directional staleness (one view a
+subset of the other) is not divergence; that is just one client lagging
+on a single timeline.
+
+Following the paper, the reads compared may come from any point in the
+test (its worked example even derives a divergence whose views never
+coexisted, hence a zero-length *window*; windows are computed separately
+in :mod:`repro.core.windows`).
+
+Reporting granularity: the paper's Figure 8 reports divergence per
+*agent pair* per test, so this checker emits **at most one observation
+per unordered agent pair**, carrying the number of divergent read pairs
+and the first piece of evidence.  ``details`` keys:
+
+* ``divergent_read_pairs`` — how many (read, read) combinations of this
+  agent pair diverged.
+* ``example`` — mapping with ``left_only``/``right_only`` message ids
+  and the two observed sequences from the first divergent pair found
+  (agents in sorted order: "left" is the lexicographically smaller).
+"""
+
+from __future__ import annotations
+
+from repro.core.anomalies.base import (
+    CONTENT_DIVERGENCE,
+    AnomalyChecker,
+    AnomalyObservation,
+)
+from repro.core.trace import ReadOp, TestTrace
+
+__all__ = ["ContentDivergenceChecker", "views_content_diverged"]
+
+
+def views_content_diverged(view_a: tuple[str, ...],
+                           view_b: tuple[str, ...]) -> bool:
+    """The paper's content-divergence predicate on two observed views."""
+    set_a, set_b = set(view_a), set(view_b)
+    return bool(set_a - set_b) and bool(set_b - set_a)
+
+
+class ContentDivergenceChecker(AnomalyChecker):
+    """Detects cross-missing writes between reads of different agents."""
+
+    anomaly = CONTENT_DIVERGENCE
+
+    def check(self, trace: TestTrace) -> list[AnomalyObservation]:
+        observations: list[AnomalyObservation] = []
+        for first, second in trace.agent_pairs():
+            left, right = sorted((first, second))
+            result = self._check_pair(
+                trace.reads_by(left), trace.reads_by(right)
+            )
+            if result is None:
+                continue
+            count, example, detecting_read = result
+            observations.append(AnomalyObservation(
+                anomaly=self.anomaly,
+                agent=left,
+                time=trace.corrected_response(detecting_read),
+                pair=(left, right),
+                details={
+                    "divergent_read_pairs": count,
+                    "example": example,
+                },
+            ))
+        return observations
+
+    @staticmethod
+    def _check_pair(
+        left_reads: list[ReadOp], right_reads: list[ReadOp]
+    ) -> tuple[int, dict, ReadOp] | None:
+        """Count divergent read pairs between two agents' read logs."""
+        count = 0
+        example: dict | None = None
+        detecting_read: ReadOp | None = None
+        # Precompute sets once per read; the pairwise loop then only
+        # does set differences.
+        left_sets = [(read, frozenset(read.observed))
+                     for read in left_reads]
+        right_sets = [(read, frozenset(read.observed))
+                      for read in right_reads]
+        for left_read, left_set in left_sets:
+            for right_read, right_set in right_sets:
+                left_only = left_set - right_set
+                if not left_only:
+                    continue
+                right_only = right_set - left_set
+                if not right_only:
+                    continue
+                count += 1
+                if example is None:
+                    example = {
+                        "left_only": tuple(sorted(left_only)),
+                        "right_only": tuple(sorted(right_only)),
+                        "left_observed": left_read.observed,
+                        "right_observed": right_read.observed,
+                    }
+                    detecting_read = (
+                        left_read
+                        if left_read.response_local >=
+                        right_read.response_local
+                        else right_read
+                    )
+        if count == 0:
+            return None
+        assert example is not None and detecting_read is not None
+        return count, example, detecting_read

@@ -1,0 +1,103 @@
+"""Monotonic Writes checker.
+
+Paper definition (§III.1): with ``W`` the sequence of writes made by
+client ``c`` up to a given instant and ``S`` a sequence returned by a
+read of *any* client, a *Monotonic Writes* anomaly happens when::
+
+    ∃ x, y ∈ W : W(x) ≺ W(y) ∧ y ∈ S ∧ (x ∉ S ∨ S(y) ≺ S(x))
+
+i.e. some later write of a session is visible while an earlier write of
+the same session is either missing or ordered after it.
+
+Unlike read-your-writes, the observing read may come from *any* agent.
+"Up to a given instant" means writes whose response preceded the read's
+invocation; because writer and reader may sit on different machines, we
+compare in the reference frame via the trace's estimated clock deltas.
+
+One observation is recorded per (read, writer-session) combination that
+violates the property.  ``details`` keys:
+
+* ``writer`` — the session whose write order was violated.
+* ``missing`` — earlier write ids that are absent while a later one is
+  visible.
+* ``reordered`` — tuple of (earlier_id, later_id) pairs that appear in
+  inverted order in the read.
+* ``observed`` — the sequence the read returned.
+"""
+
+from __future__ import annotations
+
+from repro.core.anomalies.base import (
+    MONOTONIC_WRITES,
+    AnomalyChecker,
+    AnomalyObservation,
+)
+from repro.core.trace import TestTrace, WriteOp
+
+__all__ = ["MonotonicWritesChecker"]
+
+
+class MonotonicWritesChecker(AnomalyChecker):
+    """Detects violations of per-session write order in any read."""
+
+    anomaly = MONOTONIC_WRITES
+
+    def check(self, trace: TestTrace) -> list[AnomalyObservation]:
+        observations: list[AnomalyObservation] = []
+        sessions = {
+            agent: trace.writes_by(agent) for agent in trace.agents
+        }
+        for read in trace.reads():
+            read_invoke_ref = trace.corrected_invoke(read)
+            for writer, session_writes in sessions.items():
+                completed = [
+                    w for w in session_writes
+                    if trace.corrected_response(w) <= read_invoke_ref
+                ]
+                if len(completed) < 2:
+                    continue
+                violation = self._session_violation(completed, read.observed)
+                if violation is None:
+                    continue
+                missing, reordered = violation
+                observations.append(AnomalyObservation(
+                    anomaly=self.anomaly,
+                    agent=read.agent,
+                    time=trace.corrected_response(read),
+                    details={
+                        "writer": writer,
+                        "missing": missing,
+                        "reordered": reordered,
+                        "observed": read.observed,
+                    },
+                ))
+        return observations
+
+    @staticmethod
+    def _session_violation(
+        session_writes: list[WriteOp], observed: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]] | None:
+        """Check one writer session against one read's sequence.
+
+        Returns (missing_ids, reordered_pairs) or None if consistent.
+        """
+        positions = {mid: i for i, mid in enumerate(observed)}
+        missing: list[str] = []
+        reordered: list[tuple[str, str]] = []
+        for i, earlier in enumerate(session_writes):
+            for later in session_writes[i + 1:]:
+                later_pos = positions.get(later.message_id)
+                if later_pos is None:
+                    continue  # later write not visible: no constraint yet
+                earlier_pos = positions.get(earlier.message_id)
+                if earlier_pos is None:
+                    missing.append(earlier.message_id)
+                elif later_pos < earlier_pos:
+                    reordered.append(
+                        (earlier.message_id, later.message_id)
+                    )
+        if not missing and not reordered:
+            return None
+        # De-duplicate while preserving order.
+        unique_missing = tuple(dict.fromkeys(missing))
+        return unique_missing, tuple(reordered)

@@ -1,0 +1,111 @@
+"""Checker registry: run every anomaly checker over a trace at once.
+
+:func:`check_all` is the entry point the campaign runner and analysis
+pipeline use; it returns a :class:`TraceReport` with observations
+grouped by anomaly kind, plus the convenience accessors the figures
+need (per-agent counts, per-pair booleans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.anomalies.base import (
+    ALL_ANOMALIES,
+    DIVERGENCE_ANOMALIES,
+    AnomalyChecker,
+    AnomalyObservation,
+)
+from repro.core.anomalies.content_divergence import ContentDivergenceChecker
+from repro.core.anomalies.monotonic_reads import MonotonicReadsChecker
+from repro.core.anomalies.monotonic_writes import MonotonicWritesChecker
+from repro.core.anomalies.order_divergence import OrderDivergenceChecker
+from repro.core.anomalies.read_your_writes import ReadYourWritesChecker
+from repro.core.anomalies.writes_follow_reads import WritesFollowReadsChecker
+from repro.core.trace import TestTrace
+
+__all__ = ["default_checkers", "check_all", "TraceReport"]
+
+
+def default_checkers() -> list[AnomalyChecker]:
+    """Fresh instances of all six checkers, in the paper's order."""
+    return [
+        ReadYourWritesChecker(),
+        MonotonicWritesChecker(),
+        MonotonicReadsChecker(),
+        WritesFollowReadsChecker(),
+        ContentDivergenceChecker(),
+        OrderDivergenceChecker(),
+    ]
+
+
+@dataclass
+class TraceReport:
+    """All anomaly observations for one test trace, grouped by kind."""
+
+    test_id: str
+    service: str
+    test_type: str
+    agents: tuple[str, ...]
+    observations: dict[str, list[AnomalyObservation]] = field(
+        default_factory=dict
+    )
+
+    def has(self, anomaly: str) -> bool:
+        """Did the anomaly occur at all in this test?"""
+        return bool(self.observations.get(anomaly))
+
+    def count(self, anomaly: str) -> int:
+        """Total observations of ``anomaly`` in this test."""
+        return len(self.observations.get(anomaly, []))
+
+    def count_by_agent(self, anomaly: str) -> dict[str, int]:
+        """Observations of ``anomaly`` per observing agent."""
+        counts = {agent: 0 for agent in self.agents}
+        for obs in self.observations.get(anomaly, []):
+            counts[obs.agent] = counts.get(obs.agent, 0) + 1
+        return counts
+
+    def agents_observing(self, anomaly: str) -> frozenset[str]:
+        """The set of agents that saw ``anomaly`` in this test.
+
+        For divergence anomalies both agents of each divergent pair are
+        counted as observers.
+        """
+        observers: set[str] = set()
+        for obs in self.observations.get(anomaly, []):
+            if obs.pair is not None:
+                observers.update(obs.pair)
+            else:
+                observers.add(obs.agent)
+        return frozenset(observers)
+
+    def diverged_pairs(self, anomaly: str) -> frozenset[tuple[str, str]]:
+        """Agent pairs that exhibited a divergence anomaly."""
+        if anomaly not in DIVERGENCE_ANOMALIES:
+            raise ValueError(
+                f"{anomaly!r} is not a divergence anomaly"
+            )
+        return frozenset(
+            obs.pair for obs in self.observations.get(anomaly, [])
+            if obs.pair is not None
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Anomaly-kind -> observation count for all known kinds."""
+        return {anomaly: self.count(anomaly) for anomaly in ALL_ANOMALIES}
+
+
+def check_all(trace: TestTrace,
+              checkers: list[AnomalyChecker] | None = None) -> TraceReport:
+    """Run every checker over ``trace`` and bundle the results."""
+    report = TraceReport(
+        test_id=trace.test_id,
+        service=trace.service,
+        test_type=trace.test_type,
+        agents=trace.agents,
+    )
+    for checker in (checkers if checkers is not None
+                    else default_checkers()):
+        report.observations[checker.anomaly] = checker.check(trace)
+    return report

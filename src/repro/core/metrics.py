@@ -1,0 +1,156 @@
+"""Small statistics helpers shared by the analysis pipeline.
+
+Nothing here is domain-specific: empirical CDFs (for the divergence
+window figures), the occurrence-count buckets the paper's per-test
+distribution figures use, and percentile/summary helpers.  Kept
+dependency-free so :mod:`repro.core` stays importable without numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "EmpiricalCDF",
+    "OccurrenceBuckets",
+    "DEFAULT_BUCKETS",
+    "percentile",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical cumulative distribution function over samples.
+
+    Evaluation uses the standard right-continuous convention:
+    ``cdf(x) = (# samples <= x) / n``.
+    """
+
+    samples: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "EmpiricalCDF":
+        ordered = tuple(sorted(samples))
+        if not ordered:
+            raise AnalysisError("cannot build a CDF from zero samples")
+        return cls(samples=ordered)
+
+    def __call__(self, x: float) -> float:
+        """Fraction of samples <= ``x``."""
+        return self._count_leq(x) / len(self.samples)
+
+    def _count_leq(self, x: float) -> int:
+        lo, hi = 0, len(self.samples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.samples[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample s with cdf(s) >= q (inverse CDF)."""
+        if not 0.0 < q <= 1.0:
+            raise AnalysisError(f"quantile {q!r} outside (0, 1]")
+        index = math.ceil(q * len(self.samples)) - 1
+        return self.samples[max(index, 0)]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self) -> list[tuple[float, float]]:
+        """(x, cdf(x)) points at each distinct sample — plot-ready."""
+        points: list[tuple[float, float]] = []
+        n = len(self.samples)
+        for index, value in enumerate(self.samples, start=1):
+            if points and points[-1][0] == value:
+                points[-1] = (value, index / n)
+            else:
+                points.append((value, index / n))
+        return points
+
+
+@dataclass(frozen=True)
+class OccurrenceBuckets:
+    """Counts bucketed the way the paper's Figures 4–7 bucket them.
+
+    The figures group "number of anomaly observations per test" into
+    ranges like 1, 2, 3–10, and >10.  ``bounds`` lists inclusive upper
+    bounds of all but the last bucket; the last bucket is open-ended.
+    """
+
+    bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise AnalysisError("buckets need at least one bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise AnalysisError("bucket bounds must be strictly increasing")
+        if self.bounds[0] < 1:
+            raise AnalysisError("bucket bounds must be >= 1")
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Human-readable bucket labels, e.g. ('1', '2', '3-10', '>10')."""
+        labels: list[str] = []
+        previous = 0
+        for bound in self.bounds:
+            if bound == previous + 1:
+                labels.append(str(bound))
+            else:
+                labels.append(f"{previous + 1}-{bound}")
+            previous = bound
+        labels.append(f">{self.bounds[-1]}")
+        return tuple(labels)
+
+    def bucket_of(self, count: int) -> str:
+        """Label of the bucket ``count`` falls into (count must be >= 1)."""
+        if count < 1:
+            raise AnalysisError(
+                f"occurrence count must be >= 1, got {count}"
+            )
+        previous = 0
+        for bound, label in zip(self.bounds, self.labels):
+            if previous < count <= bound:
+                return label
+            previous = bound
+        return self.labels[-1]
+
+    def histogram(self, counts: Iterable[int]) -> dict[str, int]:
+        """Bucket a collection of per-test counts."""
+        result = {label: 0 for label in self.labels}
+        for count in counts:
+            result[self.bucket_of(count)] += 1
+        return result
+
+
+#: The bucketing used throughout the paper's distribution figures.
+DEFAULT_BUCKETS = OccurrenceBuckets(bounds=(1, 2, 10))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Convenience wrapper: q-th quantile of raw samples."""
+    return EmpiricalCDF.from_samples(samples).quantile(q)
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Mean / median / p90 / p99 / min / max of a sample set."""
+    if not samples:
+        raise AnalysisError("cannot summarize zero samples")
+    cdf = EmpiricalCDF.from_samples(samples)
+    return {
+        "count": float(len(samples)),
+        "mean": sum(samples) / len(samples),
+        "median": cdf.median,
+        "p90": cdf.quantile(0.90),
+        "p99": cdf.quantile(0.99),
+        "min": cdf.samples[0],
+        "max": cdf.samples[-1],
+    }

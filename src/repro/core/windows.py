@@ -1,0 +1,172 @@
+"""Divergence-window computation (the paper's §III.3 / §IV).
+
+The boolean divergence anomalies say *whether* two agents' views ever
+conflicted; the windows say *for how long*.  Following §IV, each agent's
+view over time is a step function: at every read response the view
+becomes the sequence that read returned ("as determined by the most
+recent read"), with operations from different agents placed on a single
+timeline using the coordinator-estimated clock deltas.
+
+For an agent pair, a divergence window is a maximal interval during
+which the anomaly predicate (content or order divergence) holds between
+the two current views.  The paper's worked example is honored: a
+divergence detected between reads whose views never coexisted in time
+yields a zero-length window (the boolean checker fires, the window
+computation finds no interval).
+
+A pair whose views are still divergent at the last read of the test has
+not converged; such runs are excluded from window CDFs but their
+fraction is reported (the paper does the same for Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.anomalies.content_divergence import views_content_diverged
+from repro.core.anomalies.order_divergence import views_order_diverged
+from repro.core.trace import TestTrace
+
+__all__ = [
+    "ViewStep",
+    "WindowResult",
+    "view_timeline",
+    "divergence_windows",
+    "content_divergence_windows",
+    "order_divergence_windows",
+]
+
+#: Predicate over two views, e.g. ``views_content_diverged``.
+ViewPredicate = Callable[[tuple[str, ...], tuple[str, ...]], bool]
+
+
+@dataclass(frozen=True)
+class ViewStep:
+    """One step of an agent's view timeline: from ``time`` onward the
+    agent's most recent read returned ``view``."""
+
+    time: float
+    view: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Divergence windows for one agent pair in one test.
+
+    Attributes
+    ----------
+    pair:
+        The (sorted) agent pair analyzed.
+    intervals:
+        Maximal [start, end) intervals during which the predicate held.
+        The final interval of an unconverged pair ends at the last
+        observation time.
+    converged:
+        False if the views were still divergent at the end of the test.
+    """
+
+    pair: tuple[str, str]
+    intervals: tuple[tuple[float, float], ...]
+    converged: bool
+
+    @property
+    def diverged(self) -> bool:
+        """True if the predicate held during any interval."""
+        return bool(self.intervals)
+
+    @property
+    def largest(self) -> float | None:
+        """Duration of the largest window (None if never diverged).
+
+        The paper's Figure 9 uses "only ... the largest divergence
+        window for each pair of agents in each test".
+        """
+        if not self.intervals:
+            return None
+        return max(end - start for start, end in self.intervals)
+
+    @property
+    def total(self) -> float:
+        """Summed duration of all windows."""
+        return sum(end - start for start, end in self.intervals)
+
+
+def view_timeline(trace: TestTrace, agent: str) -> list[ViewStep]:
+    """``agent``'s view step function on the reference timeline.
+
+    Before its first read an agent has the empty view.
+    """
+    steps = [ViewStep(float("-inf"), ())]
+    for read in trace.reads_by(agent):
+        steps.append(
+            ViewStep(trace.corrected_response(read), read.observed)
+        )
+    return steps
+
+
+def divergence_windows(trace: TestTrace, agent_a: str, agent_b: str,
+                       predicate: ViewPredicate) -> WindowResult:
+    """Compute the windows where ``predicate`` holds between two views."""
+    pair = tuple(sorted((agent_a, agent_b)))
+    timeline_a = view_timeline(trace, pair[0])
+    timeline_b = view_timeline(trace, pair[1])
+
+    # Merge the two step functions into a single sequence of change
+    # points; between consecutive change points both views are constant.
+    change_points = sorted(
+        {step.time for step in timeline_a[1:]}
+        | {step.time for step in timeline_b[1:]}
+    )
+    if not change_points:
+        return WindowResult(pair=pair, intervals=(), converged=True)
+
+    intervals: list[tuple[float, float]] = []
+    window_start: float | None = None
+    index_a = index_b = 0
+    for time in change_points:
+        index_a = _advance(timeline_a, index_a, time)
+        index_b = _advance(timeline_b, index_b, time)
+        diverged = predicate(
+            timeline_a[index_a].view, timeline_b[index_b].view
+        )
+        if diverged and window_start is None:
+            window_start = time
+        elif not diverged and window_start is not None:
+            intervals.append((window_start, time))
+            window_start = None
+
+    converged = window_start is None
+    if window_start is not None:
+        # Still divergent at the last observation: close the interval at
+        # the end of the trace so `total`/`largest` stay meaningful, but
+        # flag the pair as unconverged.
+        intervals.append((window_start, change_points[-1]))
+
+    return WindowResult(
+        pair=pair, intervals=tuple(intervals), converged=converged
+    )
+
+
+def _advance(timeline: list[ViewStep], index: int, time: float) -> int:
+    """Largest step index whose time is <= ``time``, starting at ``index``."""
+    while (index + 1 < len(timeline)
+           and timeline[index + 1].time <= time):
+        index += 1
+    return index
+
+
+def content_divergence_windows(trace: TestTrace, agent_a: str,
+                               agent_b: str) -> WindowResult:
+    """Content-divergence windows for one pair (paper Fig. 9)."""
+    return divergence_windows(
+        trace, agent_a, agent_b, views_content_diverged
+    )
+
+
+def order_divergence_windows(trace: TestTrace, agent_a: str,
+                             agent_b: str) -> WindowResult:
+    """Order-divergence windows for one pair (paper Fig. 10)."""
+    return divergence_windows(
+        trace, agent_a, agent_b, views_order_diverged
+    )

@@ -1,0 +1,195 @@
+"""Campaign persistence: save and reload results as JSON.
+
+A measurement campaign is expensive relative to its analysis; the
+paper itself separates the month-long collection phase from the
+offline analysis.  This module serializes a
+:class:`~repro.methodology.runner.CampaignResult` (its compact per-test
+records — full traces are not persisted) so collected data can be
+archived, diffed across seeds, or re-analyzed without re-running the
+simulation:
+
+    from repro.io import load_campaign, save_campaign
+    save_campaign(result, "gplus.json")
+    ...
+    result = load_campaign("gplus.json")
+    print(prevalence_table({"googleplus": result}))
+
+The format is a stable, human-inspectable JSON document (schema version
+inside); loading restores everything the analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.anomalies.base import AnomalyObservation
+from repro.core.anomalies.registry import TraceReport
+from repro.core.windows import WindowResult
+from repro.errors import AnalysisError
+from repro.methodology.config import CampaignConfig
+from repro.methodology.runner import CampaignResult, TestRecord
+
+__all__ = ["save_campaign", "load_campaign", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+# -- Serialization -------------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert tuples/frozensets to JSON-safe structures."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    return value
+
+
+def _observation_to_dict(obs: AnomalyObservation) -> dict:
+    return {
+        "anomaly": obs.anomaly,
+        "agent": obs.agent,
+        "time": obs.time,
+        "pair": list(obs.pair) if obs.pair else None,
+        "details": _jsonable(dict(obs.details)),
+    }
+
+
+def _window_to_dict(window: WindowResult) -> dict:
+    return {
+        "pair": list(window.pair),
+        "intervals": [[start, end] for start, end in window.intervals],
+        "converged": window.converged,
+    }
+
+
+def _record_to_dict(record: TestRecord) -> dict:
+    return {
+        "test_id": record.test_id,
+        "test_type": record.test_type,
+        "agents": list(record.report.agents),
+        "observations": {
+            anomaly: [_observation_to_dict(obs) for obs in observations]
+            for anomaly, observations
+            in record.report.observations.items()
+        },
+        "content_windows": [_window_to_dict(w)
+                            for w in record.content_windows.values()],
+        "order_windows": [_window_to_dict(w)
+                          for w in record.order_windows.values()],
+        "reads_per_agent": dict(record.reads_per_agent),
+        "writes_per_agent": dict(record.writes_per_agent),
+        "duration": record.duration,
+    }
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> Path:
+    """Write a campaign's records to ``path`` as JSON; returns the path.
+
+    Full traces (``keep_traces=True``) are intentionally not persisted
+    — they are a debugging aid, not analysis input.
+    """
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "service": result.service,
+        "config": {
+            "num_tests": result.config.num_tests,
+            "seed": result.config.seed,
+            "test_types": list(result.config.test_types),
+            "mask_sessions": result.config.mask_sessions,
+        },
+        "records": [_record_to_dict(record)
+                    for record in result.records],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True))
+    return path
+
+
+# -- Deserialization -------------------------------------------------------
+
+
+def _restore_details(details: Any) -> Any:
+    """JSON lists back to tuples (the shape the analysis relies on)."""
+    if isinstance(details, dict):
+        return {key: _restore_details(item)
+                for key, item in details.items()}
+    if isinstance(details, list):
+        return tuple(_restore_details(item) for item in details)
+    return details
+
+
+def _observation_from_dict(data: dict) -> AnomalyObservation:
+    return AnomalyObservation(
+        anomaly=data["anomaly"],
+        agent=data["agent"],
+        time=data["time"],
+        pair=tuple(data["pair"]) if data["pair"] else None,
+        details=_restore_details(data["details"]),
+    )
+
+
+def _window_from_dict(data: dict) -> WindowResult:
+    return WindowResult(
+        pair=tuple(data["pair"]),
+        intervals=tuple((start, end)
+                        for start, end in data["intervals"]),
+        converged=data["converged"],
+    )
+
+
+def _record_from_dict(data: dict, service: str) -> TestRecord:
+    report = TraceReport(
+        test_id=data["test_id"],
+        service=service,
+        test_type=data["test_type"],
+        agents=tuple(data["agents"]),
+        observations={
+            anomaly: [_observation_from_dict(obs)
+                      for obs in observations]
+            for anomaly, observations in data["observations"].items()
+        },
+    )
+    content = {window.pair: window for window in
+               (_window_from_dict(w) for w in data["content_windows"])}
+    order = {window.pair: window for window in
+             (_window_from_dict(w) for w in data["order_windows"])}
+    return TestRecord(
+        test_id=data["test_id"],
+        test_type=data["test_type"],
+        report=report,
+        content_windows=content,
+        order_windows=order,
+        reads_per_agent=dict(data["reads_per_agent"]),
+        writes_per_agent=dict(data["writes_per_agent"]),
+        duration=data["duration"],
+    )
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Load a campaign saved by :func:`save_campaign`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise AnalysisError(
+            f"unsupported campaign schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    config_data = document["config"]
+    config = CampaignConfig(
+        num_tests=config_data["num_tests"],
+        seed=config_data["seed"],
+        test_types=tuple(config_data["test_types"]),
+        mask_sessions=config_data.get("mask_sessions", False),
+    )
+    result = CampaignResult(service=document["service"], config=config)
+    result.records.extend(
+        _record_from_dict(record, document["service"])
+        for record in document["records"]
+    )
+    return result

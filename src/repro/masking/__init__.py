@@ -1,0 +1,11 @@
+"""Client-side anomaly masking (the paper's §V discussion, implemented).
+
+:class:`SessionGuaranteeClient` wraps any service session and enforces
+the four session guarantees with caching and replay — no blocking on
+cross-replica synchronization.  :class:`DependencyRegistry` carries the
+application-level causal metadata needed for writes-follow-reads.
+"""
+
+from repro.masking.session import DependencyRegistry, SessionGuaranteeClient
+
+__all__ = ["SessionGuaranteeClient", "DependencyRegistry"]

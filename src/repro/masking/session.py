@@ -1,0 +1,236 @@
+"""Client-side session-guarantee enforcement (the paper's §V sketch).
+
+The paper observes that "most of the session guarantees can be easily
+enforced at the application level by simply identifying requests with a
+session id and a sequence number within a session, and using a
+combination of caching and replaying previous values that were read and
+written, and delaying or omitting the delivery of messages", leaving
+the details as future work.  This module supplies those details:
+
+:class:`SessionGuaranteeClient` wraps a
+:class:`~repro.services.base.ServiceSession` and post-processes every
+read so that, relative to this client's own history, the returned
+sequence never violates:
+
+* **Read your writes** — own completed writes missing from a response
+  are replayed from the session's write cache (appended in session
+  order, as the newest events the client knows of).
+* **Monotonic writes** — own writes appearing out of session order are
+  reordered into it (other messages keep their relative positions).
+* **Monotonic reads** — messages observed by an earlier read that
+  vanish from a later one are re-inserted near their previous
+  neighbours (replaying the read cache).
+* **Writes follow reads** — with dependency metadata from a shared
+  :class:`DependencyRegistry` (the application-level piggybacking the
+  paper alludes to), a message whose causal predecessor is neither in
+  the response nor in the cache is *withheld* until the predecessor is
+  visible ("delaying or omitting the delivery"); if the predecessor is
+  known from the cache it is re-inserted instead.
+
+None of this blocks on cross-replica synchronization — it is pure
+client-side caching and replay, which is the paper's point: these
+guarantees are cheap to retrofit above a weakly consistent API.
+"""
+
+from __future__ import annotations
+
+from repro.sim.future import Future
+
+__all__ = ["DependencyRegistry", "SessionGuaranteeClient"]
+
+
+class DependencyRegistry:
+    """Shared map of message id -> causal predecessor ids.
+
+    Models application-level metadata piggybacked on writes: a client
+    that posts a reaction records what it had read; every cooperating
+    client consults the registry when masking.
+    """
+
+    def __init__(self) -> None:
+        self._deps: dict[str, frozenset[str]] = {}
+
+    def record(self, message_id: str, depends_on) -> None:
+        """Register ``message_id``'s causal predecessors."""
+        self._deps[message_id] = frozenset(depends_on)
+
+    def dependencies(self, message_id: str) -> frozenset[str]:
+        return self._deps.get(message_id, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+
+class SessionGuaranteeClient:
+    """A masking wrapper around a service session.
+
+    Parameters
+    ----------
+    session:
+        The raw black-box session to wrap.
+    registry:
+        Optional shared dependency registry enabling the
+        writes-follow-reads masking; without one, only the three
+        cache-and-replay guarantees are enforced.
+    """
+
+    def __init__(self, session, registry: DependencyRegistry | None = None,
+                 ) -> None:
+        self._session = session
+        self._registry = registry
+        #: Own completed writes, in session order.
+        self._own_writes: list[str] = []
+        #: The last masked view returned to the application.
+        self._last_view: tuple[str, ...] = ()
+        #: Everything this session has ever observed (or written).
+        self._seen: set[str] = set()
+
+    # -- Write path ---------------------------------------------------------
+
+    def post_message(self, message_id: str) -> Future:
+        """Write through the session, recording session order and deps."""
+        if self._registry is not None:
+            # The write reacts to everything this client has observed.
+            self._registry.record(message_id, self._seen)
+        raw = self._session.post_message(message_id)
+        shaped: Future = Future(name=f"masked.post.{message_id}")
+
+        def on_done(future: Future) -> None:
+            if future.failed:
+                shaped.fail(future.exception)
+                return
+            self._own_writes.append(message_id)
+            self._seen.add(message_id)
+            shaped.resolve(future.value)
+
+        raw.add_callback(on_done)
+        return shaped
+
+    # -- Read path ----------------------------------------------------------
+
+    def fetch_messages(self) -> Future:
+        """Read through the session and mask the anomalies away."""
+        raw = self._session.fetch_messages()
+        shaped: Future = Future(name="masked.fetch")
+
+        def on_done(future: Future) -> None:
+            if future.failed:
+                shaped.fail(future.exception)
+                return
+            masked = self._mask(tuple(future.value))
+            self._last_view = masked
+            self._seen.update(masked)
+            shaped.resolve(masked)
+
+        raw.add_callback(on_done)
+        return shaped
+
+    # -- Masking pipeline ----------------------------------------------------
+
+    def _mask(self, view: tuple[str, ...]) -> tuple[str, ...]:
+        sequence = list(view)
+        sequence = self._replay_vanished(sequence)
+        sequence = self._replay_own_writes(sequence)
+        sequence = self._reorder_own_writes(sequence)
+        sequence = self._enforce_dependencies(sequence)
+        return tuple(sequence)
+
+    def _replay_vanished(self, sequence: list[str]) -> list[str]:
+        """Monotonic reads: re-insert previously-seen missing messages.
+
+        Each vanished message is inserted right after its nearest
+        predecessor from the previous masked view that is still
+        present, preserving the remembered relative order.
+        """
+        present = set(sequence)
+        for index, message_id in enumerate(self._last_view):
+            if message_id in present:
+                continue
+            insert_at = 0
+            for predecessor in reversed(self._last_view[:index]):
+                if predecessor in present:
+                    insert_at = sequence.index(predecessor) + 1
+                    break
+            sequence.insert(insert_at, message_id)
+            present.add(message_id)
+        return sequence
+
+    def _replay_own_writes(self, sequence: list[str]) -> list[str]:
+        """Read your writes: append own completed writes that are absent.
+
+        Appending (rather than splicing) treats them as the newest
+        events this client knows about, which is safe because nothing
+        the service returned claims to be newer than an unacknowledged
+        position.
+        """
+        present = set(sequence)
+        for message_id in self._own_writes:
+            if message_id not in present:
+                sequence.append(message_id)
+                present.add(message_id)
+        return sequence
+
+    def _reorder_own_writes(self, sequence: list[str]) -> list[str]:
+        """Monotonic writes: force own writes into session order.
+
+        The positions own writes occupy are kept; which write sits in
+        which position is rewritten to session order, so every other
+        message keeps its exact index.
+        """
+        session_rank = {mid: i for i, mid in enumerate(self._own_writes)}
+        slots = [i for i, mid in enumerate(sequence)
+                 if mid in session_rank]
+        ordered = sorted((sequence[i] for i in slots),
+                         key=lambda mid: session_rank[mid])
+        for slot, message_id in zip(slots, ordered):
+            sequence[slot] = message_id
+        return sequence
+
+    def _enforce_dependencies(self, sequence: list[str]) -> list[str]:
+        """Writes follow reads: hoist, replay, or withhold messages.
+
+        Every message's known causal predecessors must appear before
+        it: a predecessor later in the sequence is hoisted, a
+        predecessor we remember from the cache is replayed, and a
+        message whose predecessor is entirely unknown is withheld
+        ("delaying or omitting the delivery") until a later read.
+        """
+        if self._registry is None:
+            return sequence
+        present = set(sequence)
+        result: list[str] = []
+        emitted: set[str] = set()
+        for message_id in sequence:
+            if message_id in emitted:
+                continue  # hoisted earlier as someone's dependency
+            withheld = False
+            for dependency in sorted(
+                    self._registry.dependencies(message_id)):
+                if dependency in emitted:
+                    continue
+                if dependency in present or dependency in self._seen:
+                    # Hoist (if later in this view) or replay (from
+                    # the cache): either way it precedes its dependent.
+                    result.append(dependency)
+                    emitted.add(dependency)
+                else:
+                    # Unknown predecessor: delay this message's
+                    # delivery to a later read.
+                    withheld = True
+                    break
+            if not withheld:
+                result.append(message_id)
+                emitted.add(message_id)
+        return result
+
+    # -- Introspection ---------------------------------------------------
+
+    @property
+    def session_writes(self) -> tuple[str, ...]:
+        """Own completed writes in session order."""
+        return tuple(self._own_writes)
+
+    @property
+    def last_view(self) -> tuple[str, ...]:
+        """The most recent masked view."""
+        return self._last_view

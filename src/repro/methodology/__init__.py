@@ -1,0 +1,66 @@
+"""The measurement methodology: test templates and campaign runner.
+
+* :mod:`repro.methodology.config` — Tables I/II parameters and
+  :class:`CampaignConfig`.
+* :mod:`repro.methodology.world` — one-call assembly of the paper's
+  deployment around a chosen service.
+* :mod:`repro.methodology.test1` / ``test2`` — the two §IV test
+  templates as simulation processes.
+* :mod:`repro.methodology.runner` — run many tests, check traces,
+  compute windows, return compact records.
+"""
+
+from repro.methodology.config import (
+    PAPER_PLANS,
+    CampaignConfig,
+    ServicePlan,
+    Test1Config,
+    Test2Config,
+)
+from repro.methodology.nemesis import (
+    CompositeNemesis,
+    LinkLossNemesis,
+    Nemesis,
+    PartitionStretchNemesis,
+    PeriodicPartitionNemesis,
+)
+from repro.methodology.runner import (
+    CampaignResult,
+    TestRecord,
+    analyze_trace,
+    run_campaign,
+)
+from repro.methodology.sweep import (
+    PrevalenceStats,
+    prevalence_statistics,
+    replicate,
+    sweep,
+)
+from repro.methodology.test1 import run_test1
+from repro.methodology.test2 import run_test2
+from repro.methodology.world import AGENT_REGIONS, MeasurementWorld
+
+__all__ = [
+    "Test1Config",
+    "Test2Config",
+    "ServicePlan",
+    "PAPER_PLANS",
+    "CampaignConfig",
+    "MeasurementWorld",
+    "AGENT_REGIONS",
+    "run_test1",
+    "run_test2",
+    "Nemesis",
+    "PartitionStretchNemesis",
+    "PeriodicPartitionNemesis",
+    "LinkLossNemesis",
+    "CompositeNemesis",
+    "replicate",
+    "sweep",
+    "PrevalenceStats",
+    "prevalence_statistics",
+    "run_campaign",
+    "analyze_trace",
+    "TestRecord",
+    "CampaignResult",
+]

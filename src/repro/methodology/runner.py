@@ -1,0 +1,258 @@
+"""Campaign runner: execute many test instances and distill results.
+
+One campaign = one service + one :class:`CampaignConfig`.  The runner
+builds a fresh :class:`~repro.methodology.world.MeasurementWorld`, runs
+``num_tests`` instances of each requested test template with cool-downs
+in between (the paper alternated four-day blocks of each type; we run
+the blocks back-to-back since block order does not interact with any
+measured quantity), checks every trace with all six anomaly checkers,
+computes per-pair divergence windows, and returns a
+:class:`CampaignResult` of compact per-test records.
+
+Fault scenarios are armed by a :class:`~repro.methodology.nemesis.Nemesis`
+hook before each test.  By default, ``facebook_group`` Test 2 campaigns
+get the paper's Tokyo incident — a partition between the group store's
+replicas spanning ``group_partition_tests`` consecutive tests (§V
+attributes 9 of the 15 content-divergence occurrences to such a
+stretch); pass ``CampaignConfig(nemesis=...)`` for custom scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.anomalies import ALL_ANOMALIES
+from repro.core.anomalies.registry import TraceReport, check_all
+from repro.core.trace import TestTrace
+from repro.core.windows import (
+    WindowResult,
+    content_divergence_windows,
+    order_divergence_windows,
+)
+from repro.errors import ReproError
+from repro.methodology.config import (
+    PAPER_PLANS,
+    CampaignConfig,
+    ServicePlan,
+)
+from repro.methodology.test1 import run_test1
+from repro.methodology.test2 import run_test2
+from repro.methodology.world import MeasurementWorld
+from repro.sim.process import spawn
+
+__all__ = ["TestRecord", "CampaignResult", "run_campaign",
+           "analyze_trace"]
+
+#: Pair key type used throughout the analysis: sorted agent names.
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class TestRecord:
+    """Everything the analysis pipeline needs from one test instance."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    test_id: str
+    test_type: str
+    report: TraceReport
+    #: Content-divergence windows per agent pair.
+    content_windows: dict[Pair, WindowResult]
+    #: Order-divergence windows per agent pair.
+    order_windows: dict[Pair, WindowResult]
+    reads_per_agent: dict[str, int]
+    writes_per_agent: dict[str, int]
+    #: Test duration in reference-frame seconds.
+    duration: float
+    #: Full trace, retained only when the campaign asked for it.
+    trace: TestTrace | None = None
+
+
+@dataclass
+class CampaignResult:
+    """All records of one service campaign plus convenience totals."""
+
+    service: str
+    config: CampaignConfig
+    records: list[TestRecord] = field(default_factory=list)
+
+    def of_type(self, test_type: str) -> list[TestRecord]:
+        return [r for r in self.records if r.test_type == test_type]
+
+    @property
+    def total_tests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(sum(r.reads_per_agent.values()) for r in self.records)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(sum(r.writes_per_agent.values())
+                   for r in self.records)
+
+    def prevalence(self, anomaly: str,
+                   test_type: str | None = None) -> float:
+        """Fraction of tests in which ``anomaly`` occurred at all."""
+        records = (self.records if test_type is None
+                   else self.of_type(test_type))
+        if not records:
+            return 0.0
+        hits = sum(1 for r in records if r.report.has(anomaly))
+        return hits / len(records)
+
+    def summary(self) -> dict[str, float]:
+        """Anomaly -> prevalence over the whole campaign."""
+        return {anomaly: self.prevalence(anomaly)
+                for anomaly in ALL_ANOMALIES}
+
+
+def analyze_trace(trace: TestTrace,
+                  keep_trace: bool = False) -> TestRecord:
+    """Distill one trace into a compact :class:`TestRecord`."""
+    report = check_all(trace)
+    content_windows: dict[Pair, WindowResult] = {}
+    order_windows: dict[Pair, WindowResult] = {}
+    for first, second in trace.agent_pairs():
+        pair = tuple(sorted((first, second)))
+        content_windows[pair] = content_divergence_windows(
+            trace, first, second
+        )
+        order_windows[pair] = order_divergence_windows(
+            trace, first, second
+        )
+    reads = {agent: len(trace.reads_by(agent)) for agent in trace.agents}
+    writes = {agent: len(trace.writes_by(agent))
+              for agent in trace.agents}
+    times = [trace.corrected_response(op) for op in trace.operations]
+    duration = (max(times) - min(times)) if times else 0.0
+    return TestRecord(
+        test_id=trace.test_id,
+        test_type=trace.test_type,
+        report=report,
+        content_windows=content_windows,
+        order_windows=order_windows,
+        reads_per_agent=reads,
+        writes_per_agent=writes,
+        duration=duration,
+        trace=trace if keep_trace else None,
+    )
+
+
+def run_campaign(service_name: str,
+                 config: CampaignConfig | None = None,
+                 plan: ServicePlan | None = None) -> CampaignResult:
+    """Run a full measurement campaign against one service."""
+    config = config or CampaignConfig()
+    plan = plan or PAPER_PLANS[service_name]
+    world = MeasurementWorld(
+        service_name, seed=config.seed,
+        service_params=config.service_params,
+        role_order=config.role_order,
+    )
+    if config.mask_sessions:
+        _mask_agent_sessions(world)
+    result = CampaignResult(service=service_name, config=config)
+    gap_stream = world.rng.stream("campaign.gap")
+
+    nemesis = _effective_nemesis(service_name, config)
+
+    def campaign():
+        for test_type in config.test_types:
+            duration_hint = (plan.test1.timeout if test_type == "test1"
+                             else plan.test2.timeout)
+            for index in range(config.num_tests):
+                armed_windows = None
+                if nemesis is not None:
+                    armed_windows = nemesis.before_test(
+                        world, test_type, index, config.num_tests,
+                        duration_hint,
+                    )
+                test_id = f"{service_name}-{test_type}-{index}"
+                if test_type == "test1":
+                    trace = yield from run_test1(world, test_id,
+                                                 plan.test1)
+                    gap = (config.inter_test_gap
+                           if config.inter_test_gap is not None
+                           else plan.test1.inter_test_gap)
+                else:
+                    trace = yield from run_test2(world, test_id,
+                                                 plan.test2)
+                    gap = (config.inter_test_gap
+                           if config.inter_test_gap is not None
+                           else plan.test2.inter_test_gap)
+                if armed_windows:
+                    # Test-scoped faults end with the test, not with
+                    # their (timeout-sized) hint.
+                    for window in armed_windows:
+                        world.faults.close(window, world.sim.now)
+                result.records.append(
+                    analyze_trace(trace, keep_trace=config.keep_traces)
+                )
+                # Sub-second jitter varies the wall-clock phase between
+                # tests (load-bearing for second-truncated ordering).
+                yield gap + gap_stream.uniform(0.0, 1.0)
+
+    driver = spawn(world.sim, campaign, name=f"campaign.{service_name}")
+    # Services run periodic timers (anti-entropy, batch flushes) that
+    # never drain the event queue, so drive the clock in chunks until
+    # the campaign process finishes — with a generous virtual-time
+    # budget as a wedge against harness bugs.
+    per_test_budget = max(
+        plan.test1.timeout + _gap_or(config, plan.test1.inter_test_gap),
+        plan.test2.timeout + _gap_or(config, plan.test2.inter_test_gap),
+    )
+    budget = (4.0 * per_test_budget * config.num_tests
+              * len(config.test_types) + 3600.0)
+    deadline = world.sim.now + budget
+    while not driver.completion.done and world.sim.now < deadline:
+        world.sim.run_until(world.sim.now + 300.0)
+    if not driver.completion.done:
+        raise ReproError(
+            f"campaign against {service_name!r} exceeded its virtual "
+            f"time budget of {budget:.0f}s"
+        )
+    if driver.completion.failed:
+        raise ReproError(
+            f"campaign against {service_name!r} failed"
+        ) from driver.completion.exception
+    return result
+
+
+def _mask_agent_sessions(world: MeasurementWorld) -> None:
+    """Wrap every agent's session in the masking layer (§V ablation).
+
+    Imported lazily to keep the methodology package importable without
+    the masking extension.
+    """
+    from repro.masking import DependencyRegistry, SessionGuaranteeClient
+
+    registry = DependencyRegistry()
+    for agent in world.agents:
+        agent.session = SessionGuaranteeClient(
+            agent.session, registry=registry
+        )
+
+
+def _gap_or(config: CampaignConfig, plan_gap: float) -> float:
+    """The effective cool-down for budget computation."""
+    return (config.inter_test_gap
+            if config.inter_test_gap is not None else plan_gap)
+
+
+def _effective_nemesis(service_name: str, config: CampaignConfig):
+    """The configured nemesis, or the service's paper-default one."""
+    if config.nemesis is not None:
+        return config.nemesis
+    if (service_name == "facebook_group"
+            and config.group_partition_tests != 0):
+        from repro.methodology.nemesis import PartitionStretchNemesis
+
+        return PartitionStretchNemesis(
+            host_a="fbgroup-primary",
+            host_b="fbgroup-follower",
+            span=config.effective_partition_tests(),
+            test_type="test2",
+        )
+    return None

@@ -1,0 +1,93 @@
+"""Replication and parameter sweeps over campaigns.
+
+A single campaign is one sample of a stochastic system; the paper's
+credibility rests on ~1,000 tests per configuration.  This module
+provides the two aggregation patterns the benchmarks and examples use:
+
+* :func:`replicate` — run the same campaign at several seeds, for
+  confidence intervals on any reported fraction.
+* :func:`sweep` — run one campaign per parameter configuration (e.g.
+  the quorum R/W grid) and collect results keyed by label.
+* :func:`prevalence_statistics` — mean/min/max prevalence per anomaly
+  across replicated campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable
+
+from repro.core.anomalies import ALL_ANOMALIES
+from repro.errors import ConfigurationError
+from repro.methodology.config import CampaignConfig
+from repro.methodology.runner import CampaignResult, run_campaign
+
+__all__ = ["replicate", "sweep", "PrevalenceStats",
+           "prevalence_statistics"]
+
+
+def replicate(service: str, config: CampaignConfig,
+              seeds: Iterable[int]) -> list[CampaignResult]:
+    """Run the same campaign once per seed."""
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigurationError("replicate needs at least one seed")
+    return [
+        run_campaign(service, replace(config, seed=seed))
+        for seed in seeds
+    ]
+
+
+def sweep(service: str, base_config: CampaignConfig,
+          param_grid: dict[str, Any]) -> dict[str, CampaignResult]:
+    """Run one campaign per labelled service-parameter object.
+
+    ``param_grid`` maps a display label to the ``service_params``
+    object for that configuration (e.g. ``{"R=1,W=1": QuorumKvParams(
+    quorum=QuorumParams(1, 1))}`` — values are passed through to the
+    service constructor).
+    """
+    if not param_grid:
+        raise ConfigurationError("sweep needs at least one configuration")
+    return {
+        label: run_campaign(
+            service, replace(base_config, service_params=params)
+        )
+        for label, params in param_grid.items()
+    }
+
+
+@dataclass(frozen=True)
+class PrevalenceStats:
+    """Across-seed statistics for one anomaly's prevalence."""
+
+    anomaly: str
+    mean: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def prevalence_statistics(
+    results: list[CampaignResult],
+    test_type: str | None = None,
+) -> dict[str, PrevalenceStats]:
+    """Aggregate anomaly prevalence across replicated campaigns."""
+    if not results:
+        raise ConfigurationError("need at least one campaign result")
+    stats: dict[str, PrevalenceStats] = {}
+    for anomaly in ALL_ANOMALIES:
+        values = [result.prevalence(anomaly, test_type)
+                  for result in results]
+        stats[anomaly] = PrevalenceStats(
+            anomaly=anomaly,
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+    return stats

@@ -1,0 +1,105 @@
+"""Test 1: staggered double writes with continuous background reads.
+
+Figure 1's timeline (§IV): each agent performs two consecutive writes
+and continuously reads in the background.  Writes are staggered — the
+first write of agent *i* is issued when that agent observes the last
+write of agent *i-1* — producing the message chain::
+
+    agent1: M1, M2      (unconditionally)
+    agent2: M3, M4      (after observing M2)
+    agent3: M5, M6      (after observing M4)
+
+The test is complete when *all* agents have seen M6.  M3 and M5 are the
+only writes issued in reaction to an observation, so they are the
+designated writes-follow-reads trigger pairs (M3 follows M2, M5 follows
+M4).
+
+All message ids are prefixed with the test id so concurrent service
+state from other tests never aliases into a trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import TestTrace
+from repro.methodology.config import Test1Config
+from repro.methodology.world import MeasurementWorld
+from repro.sim.process import Process, spawn
+
+__all__ = ["run_test1"]
+
+
+def run_test1(world: MeasurementWorld, test_id: str,
+              config: Test1Config):
+    """Process generator running one Test 1 instance.
+
+    Returns the completed :class:`~repro.core.trace.TestTrace`.
+    """
+    # Re-estimate clock deltas before each iteration (§V).
+    yield from world.coordinator.sync_clocks()
+
+    message_ids = [f"{test_id}.M{i}" for i in range(1, 7)]
+    m1, m2, m3, m4, m5, m6 = message_ids
+    trace = TestTrace(
+        test_id=test_id,
+        service=world.service_name,
+        test_type="test1",
+        agents=world.agent_names,
+        clock_deltas=world.coordinator.delta_map(),
+        delta_uncertainty=world.coordinator.uncertainty_map(),
+        wfr_triggers={m3: frozenset({m2}), m5: frozenset({m4})},
+    )
+    for agent in world.agents:
+        agent.begin_test(trace, message_ids)
+
+    read_loops = [
+        spawn(world.sim, agent.read_loop, config.read_period,
+              name=f"{test_id}.reads.{agent.name}")
+        for agent in world.agents
+    ]
+
+    def writer(agent, first, second, trigger):
+        if trigger is not None:
+            yield from agent.wait_until_seen(trigger)
+        yield from agent.timed_post(first)
+        if config.inter_write_delay > 0:
+            yield config.inter_write_delay
+        yield from agent.timed_post(second)
+
+    agent1, agent2, agent3 = world.agents
+    writers = [
+        spawn(world.sim, writer, agent1, m1, m2, None,
+              name=f"{test_id}.write.{agent1.name}"),
+        spawn(world.sim, writer, agent2, m3, m4, m2,
+              name=f"{test_id}.write.{agent2.name}"),
+        spawn(world.sim, writer, agent3, m5, m6, m4,
+              name=f"{test_id}.write.{agent3.name}"),
+    ]
+
+    # Completion: all agents saw M6 and every writer finished (a read
+    # can observe M6 while the writer's own response is still in
+    # flight; interrupting then would lose the write's log entry).
+    # The safety timeout covers runs where ranking semantics keep
+    # hiding M6 from someone.
+    deadline = world.sim.now + config.timeout
+    while world.sim.now < deadline:
+        writers_done = all(not writer.alive for writer in writers)
+        if writers_done and all(agent.has_seen(m6)
+                                for agent in world.agents):
+            break
+        yield config.read_period / 2.0
+
+    _shutdown(world, read_loops, writers)
+    return trace
+
+
+def _shutdown(world: MeasurementWorld, read_loops: list[Process],
+              writers: list[Process]) -> None:
+    """Stop loops and writers; end the agents' test windows."""
+    for agent in world.agents:
+        agent.stop_reading()
+    for process in writers:
+        process.interrupt()
+    for process in read_loops:
+        process.interrupt()
+    for agent in world.agents:
+        agent.end_test()

@@ -1,0 +1,94 @@
+"""Test 2: simultaneous writes with adaptive background reads.
+
+Figure 2's timeline (§IV): all agents issue a single write as
+simultaneously as possible — maximizing the chance that different
+replicas see the writes in different orders — while continuously
+reading.  The read cadence is adaptive: an initial burst at 300 ms for
+higher resolution around the writes' visibility window, then 1 s to
+respect rate limits.  The test completes when every agent has performed
+its configured number of reads.
+
+Simultaneity uses the freshly estimated clock deltas: the coordinator
+picks a reference start instant far enough out to cover the sync
+uncertainty, and each agent converts it to its own clock
+(``local = reference + delta``).
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import TestTrace
+from repro.methodology.config import Test2Config
+from repro.methodology.world import MeasurementWorld
+from repro.sim.future import AllOf
+from repro.sim.process import spawn
+
+__all__ = ["run_test2"]
+
+
+def run_test2(world: MeasurementWorld, test_id: str,
+              config: Test2Config):
+    """Process generator running one Test 2 instance.
+
+    Returns the completed :class:`~repro.core.trace.TestTrace`.
+    """
+    estimates = yield from world.coordinator.sync_clocks()
+
+    message_ids = [f"{test_id}.M{i + 1}"
+                   for i in range(len(world.agents))]
+    trace = TestTrace(
+        test_id=test_id,
+        service=world.service_name,
+        test_type="test2",
+        agents=world.agent_names,
+        clock_deltas=world.coordinator.delta_map(),
+        delta_uncertainty=world.coordinator.uncertainty_map(),
+    )
+    for agent in world.agents:
+        agent.begin_test(trace, message_ids)
+
+    max_uncertainty = max(
+        (estimate.uncertainty for estimate in estimates.values()),
+        default=0.0,
+    )
+    start_reference = (world.coordinator.reference_now()
+                       + config.start_lead + 2.0 * max_uncertainty)
+
+    def agent_activity(agent, message_id):
+        # Schedule the write at the synchronized instant, converted to
+        # this agent's clock; the read loop runs throughout.
+        local_start = start_reference + trace.clock_deltas[agent.name]
+        wait = max(local_start - agent.clock.now(), 0.0)
+
+        def write_at_start():
+            yield wait
+            yield from agent.timed_post(message_id)
+
+        writer = spawn(world.sim, write_at_start,
+                       name=f"{test_id}.write.{agent.name}")
+        reads_done = yield from agent.read_loop(
+            config.fast_read_period,
+            max_reads=config.reads_per_agent,
+            slow_after=config.fast_reads,
+            slow_period=config.slow_read_period,
+        )
+        yield writer  # ensure the write finished before we report done
+        return reads_done
+
+    activities = [
+        spawn(world.sim, agent_activity, agent, message_id,
+              name=f"{test_id}.activity.{agent.name}")
+        for agent, message_id in zip(world.agents, message_ids)
+    ]
+
+    # Wait for every agent to finish its reads (with a safety timeout).
+    all_done = AllOf([activity.completion for activity in activities])
+    deadline = world.sim.now + config.timeout
+    while not all_done.done and world.sim.now < deadline:
+        yield 0.5
+
+    for activity in activities:
+        activity.interrupt()
+    for agent in world.agents:
+        agent.stop_reading()
+        agent.end_test()
+    return trace

@@ -1,0 +1,87 @@
+"""Latency models: turning base RTTs into per-message delays.
+
+Real wide-area paths show a right-skewed delay distribution: most
+packets arrive near the propagation floor, a tail arrives late (queuing,
+retransmits).  We model a one-way delay as
+
+    delay = base_one_way * J,   J ~ LogNormal(median=1, sigma)
+
+so the *median* delay equals the topology's base figure and ``sigma``
+controls tail heaviness.  A multiplicative floor keeps samples from
+dipping below the propagation delay.
+
+The model draws from a per-link named random stream, so adding hosts or
+links never perturbs delays on existing links (see
+:mod:`repro.sim.random_source`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology
+from repro.sim.random_source import RandomSource
+
+__all__ = ["JitterParams", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class JitterParams:
+    """Shape parameters for the log-normal jitter multiplier.
+
+    Attributes
+    ----------
+    sigma:
+        Log-space standard deviation of the multiplier.  0.15 gives
+        a realistic WAN (p99 roughly 1.5x median); 0 disables jitter.
+    floor:
+        Lower bound on the multiplier; models the propagation floor
+        below which no packet can arrive.
+    """
+
+    sigma: float = 0.15
+    floor: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError("jitter sigma must be non-negative")
+        if not 0 < self.floor <= 1.0:
+            raise ConfigurationError("jitter floor must be in (0, 1]")
+
+
+class LatencyModel:
+    """Samples per-message one-way delays over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, rng: RandomSource,
+                 jitter: JitterParams | None = None) -> None:
+        self._topology = topology
+        self._rng = rng
+        self._jitter = jitter or JitterParams()
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def jitter(self) -> JitterParams:
+        return self._jitter
+
+    def sample_one_way(self, src: str, dst: str) -> float:
+        """One sampled one-way delay in seconds from ``src`` to ``dst``."""
+        base = self._topology.one_way(src, dst)
+        return base * self._sample_multiplier(src, dst)
+
+    def sample_rtt(self, src: str, dst: str) -> float:
+        """One sampled round trip: two independent one-way draws."""
+        return self.sample_one_way(src, dst) + self.sample_one_way(dst, src)
+
+    def _sample_multiplier(self, src: str, dst: str) -> float:
+        if self._jitter.sigma == 0:
+            return 1.0
+        # Direction matters for stream naming so that A->B and B->A
+        # delays are independent, as they are on real paths.
+        draw = self._rng.lognormal(
+            f"latency.{src}->{dst}", median=1.0, sigma=self._jitter.sigma
+        )
+        return max(draw, self._jitter.floor)

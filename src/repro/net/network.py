@@ -1,0 +1,227 @@
+"""The simulated wide-area network: message delivery and RPC.
+
+Hosts attach to the network with handlers; the network samples a one-way
+delay from the :class:`~repro.net.latency.LatencyModel` for every
+message and schedules delivery on the simulator.  A
+:class:`~repro.net.partition.FaultInjector` may silently drop messages,
+which is how partitions look to black-box clients.
+
+Two communication styles are offered:
+
+* :meth:`Network.send` — fire-and-forget datagram, delivered to the
+  destination's message handler.  Used by replication substrates for
+  anti-entropy traffic.
+* :meth:`Network.rpc` — request/response.  The destination's RPC handler
+  computes a reply (returning either a value or a
+  :class:`~repro.sim.future.Future` for delayed replies); the reply
+  travels back with an independently sampled delay and resolves the
+  caller's future.  Used by the web-API layer and the clock-sync
+  protocol.  RPCs carry a timeout so that partitions surface as
+  :class:`~repro.errors.HostUnreachableError` rather than hung agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import HostUnreachableError, NetworkError
+from repro.net.latency import LatencyModel
+from repro.net.partition import FaultInjector
+from repro.sim.event_loop import Simulator
+from repro.sim.future import Future
+
+__all__ = ["Message", "Network", "DEFAULT_RPC_TIMEOUT"]
+
+#: Default RPC timeout in (virtual) seconds.  Generous compared to WAN
+#: RTTs so it only fires on genuine outages.
+DEFAULT_RPC_TIMEOUT = 10.0
+
+#: Handler invoked with each delivered datagram.
+MessageHandler = Callable[["Message"], None]
+#: Handler invoked with (payload, src_host); returns reply or Future.
+RpcHandler = Callable[[Any, str], Any]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered datagram, with ground-truth timing attached."""
+
+    src: str
+    dst: str
+    payload: Any
+    send_time: float
+    deliver_time: float
+
+    @property
+    def transit_time(self) -> float:
+        """Seconds the message spent on the wire."""
+        return self.deliver_time - self.send_time
+
+
+class _Endpoint:
+    """A host's attachment record."""
+
+    __slots__ = ("message_handler", "rpc_handler")
+
+    def __init__(self, message_handler: MessageHandler | None,
+                 rpc_handler: RpcHandler | None) -> None:
+        self.message_handler = message_handler
+        self.rpc_handler = rpc_handler
+
+
+class Network:
+    """Connects named hosts over a latency model with fault injection."""
+
+    def __init__(self, sim: Simulator, latency: LatencyModel,
+                 faults: FaultInjector | None = None) -> None:
+        self._sim = sim
+        self._latency = latency
+        self._faults = faults or FaultInjector()
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._messages_sent = 0
+        self._messages_delivered = 0
+
+    # -- Attachment ---------------------------------------------------------
+
+    def attach(self, host: str, message_handler: MessageHandler | None = None,
+               rpc_handler: RpcHandler | None = None) -> None:
+        """Attach ``host``; its region must already be in the topology."""
+        if not self._latency.topology.has_host(host):
+            raise NetworkError(
+                f"host {host!r} is not placed in the topology; call "
+                f"Topology.place_host first"
+            )
+        self._endpoints[host] = _Endpoint(message_handler, rpc_handler)
+
+    def detach(self, host: str) -> None:
+        """Remove ``host``; in-flight messages to it are dropped."""
+        self._endpoints.pop(host, None)
+
+    def is_attached(self, host: str) -> bool:
+        return host in self._endpoints
+
+    @property
+    def faults(self) -> FaultInjector:
+        return self._faults
+
+    @property
+    def latency(self) -> LatencyModel:
+        return self._latency
+
+    # -- Datagrams --------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Send a fire-and-forget datagram (maybe dropped by faults)."""
+        self._require_attached(src)
+        self._require_attached(dst)
+        self._messages_sent += 1
+        if self._faults.should_drop(src, dst, self._sim.now):
+            return
+        delay = self._latency.sample_one_way(src, dst)
+        send_time = self._sim.now
+        self._sim.schedule_after(
+            delay, self._deliver, src, dst, payload, send_time
+        )
+
+    def _deliver(self, src: str, dst: str, payload: Any,
+                 send_time: float) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or endpoint.message_handler is None:
+            return  # host detached mid-flight, or no datagram handler
+        self._messages_delivered += 1
+        endpoint.message_handler(
+            Message(src, dst, payload, send_time, self._sim.now)
+        )
+
+    # -- RPC ------------------------------------------------------------------
+
+    def rpc(self, src: str, dst: str, payload: Any,
+            timeout: float = DEFAULT_RPC_TIMEOUT) -> Future:
+        """Issue a request/response exchange; returns the reply future."""
+        self._require_attached(src)
+        reply = Future(name=f"rpc {src}->{dst}")
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or endpoint.rpc_handler is None:
+            reply.fail(HostUnreachableError(
+                f"host {dst!r} is not attached or has no RPC handler"
+            ))
+            return reply
+
+        request_dropped = self._faults.should_drop(src, dst, self._sim.now)
+        if not request_dropped:
+            request_delay = self._latency.sample_one_way(src, dst)
+            self._messages_sent += 1
+            self._sim.schedule_after(
+                request_delay, self._serve_rpc, src, dst, payload, reply
+            )
+        # Timeout covers both dropped requests and dropped replies.
+        self._sim.schedule_after(timeout, self._timeout_rpc, src, dst, reply)
+        return reply
+
+    def _serve_rpc(self, src: str, dst: str, payload: Any,
+                   reply: Future) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or endpoint.rpc_handler is None:
+            return  # server went away while the request was in flight
+        self._messages_delivered += 1
+        try:
+            result = endpoint.rpc_handler(payload, src)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            self._send_reply(dst, src, reply, exception=exc)
+            return
+        if isinstance(result, Future):
+            result.add_callback(
+                lambda done: self._send_reply(
+                    dst, src, reply,
+                    value=None if done.failed else done.value,
+                    exception=done.exception,
+                )
+            )
+        else:
+            self._send_reply(dst, src, reply, value=result)
+
+    def _send_reply(self, src: str, dst: str, reply: Future,
+                    value: Any = None,
+                    exception: BaseException | None = None) -> None:
+        """Ship an RPC reply from server ``src`` back to client ``dst``."""
+        if reply.done:
+            return  # the caller already timed out
+        if self._faults.should_drop(src, dst, self._sim.now):
+            return  # reply lost; caller's timeout will fire
+        self._messages_sent += 1
+        delay = self._latency.sample_one_way(src, dst)
+        self._sim.schedule_after(
+            delay, self._resolve_reply, reply, value, exception
+        )
+
+    def _resolve_reply(self, reply: Future, value: Any,
+                       exception: BaseException | None) -> None:
+        if reply.done:
+            return
+        self._messages_delivered += 1
+        if exception is not None:
+            reply.fail(exception)
+        else:
+            reply.resolve(value)
+
+    def _timeout_rpc(self, src: str, dst: str, reply: Future) -> None:
+        if reply.done:
+            return
+        reply.fail(HostUnreachableError(
+            f"RPC from {src!r} to {dst!r} timed out"
+        ))
+
+    # -- Stats ------------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    def _require_attached(self, host: str) -> None:
+        if host not in self._endpoints:
+            raise HostUnreachableError(f"host {host!r} is not attached")

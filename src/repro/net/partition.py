@@ -1,0 +1,143 @@
+"""Fault injection: partitions, host isolation, and message loss.
+
+The paper attributes the 15 content-divergence occurrences it saw on
+Facebook Group to "a transient fault or network partition" affecting the
+Tokyo agent's datacenter (§V).  :class:`FaultInjector` lets campaigns
+reproduce exactly that: block traffic between chosen host pairs (or
+isolate a host entirely) during configured ground-truth time windows,
+and optionally drop a fraction of messages on specific links.
+
+The injector is consulted by :class:`repro.net.network.Network` on every
+send; a blocked message is silently dropped, which is how real
+partitions look to black-box clients (requests time out rather than
+erroring promptly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.random_source import RandomSource
+
+__all__ = ["PartitionWindow", "FaultInjector"]
+
+
+@dataclass
+class PartitionWindow:
+    """One scheduled connectivity outage.
+
+    ``hosts`` is the set of affected host names.  With two or more
+    hosts, traffic *among* them is blocked if ``among`` is True,
+    otherwise traffic between the set and the rest of the world is
+    blocked (isolation).  A single-host window always means isolation.
+    Windows may be closed early via :meth:`FaultInjector.close` (e.g.
+    a nemesis ending a fault when its test finishes).
+    """
+
+    hosts: frozenset[str]
+    start: float
+    end: float
+    among: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"partition window must have end > start "
+                f"(got [{self.start}, {self.end}])"
+            )
+        if not self.hosts:
+            raise ConfigurationError("partition window needs at least a host")
+        if self.among and len(self.hosts) < 2:
+            raise ConfigurationError(
+                "an 'among' partition needs at least two hosts"
+            )
+
+    def active_at(self, now: float) -> bool:
+        """True while the window is in effect at ground-truth ``now``."""
+        return self.start <= now < self.end
+
+    def blocks(self, src: str, dst: str, now: float) -> bool:
+        """True if this window blocks a ``src`` -> ``dst`` message now."""
+        if not self.active_at(now):
+            return False
+        src_in = src in self.hosts
+        dst_in = dst in self.hosts
+        if self.among:
+            return src_in and dst_in
+        # Isolation: block any message crossing the set boundary.
+        return src_in != dst_in
+
+
+class FaultInjector:
+    """Aggregates partition windows and per-link loss probabilities."""
+
+    def __init__(self, rng: RandomSource | None = None) -> None:
+        self._windows: list[PartitionWindow] = []
+        self._loss: dict[tuple[str, str], float] = {}
+        self._rng = rng
+        self._dropped_messages = 0
+
+    # -- Configuration ---------------------------------------------------
+
+    def isolate(self, host: str, start: float, end: float) -> PartitionWindow:
+        """Cut ``host`` off from everyone during [start, end)."""
+        window = PartitionWindow(frozenset((host,)), start, end)
+        self._windows.append(window)
+        return window
+
+    def partition_pair(self, host_a: str, host_b: str, start: float,
+                       end: float) -> PartitionWindow:
+        """Block traffic between two hosts during [start, end)."""
+        window = PartitionWindow(
+            frozenset((host_a, host_b)), start, end, among=True
+        )
+        self._windows.append(window)
+        return window
+
+    def partition_group(self, hosts: list[str], start: float,
+                        end: float) -> PartitionWindow:
+        """Cut a group of hosts off from the rest of the world."""
+        window = PartitionWindow(frozenset(hosts), start, end)
+        self._windows.append(window)
+        return window
+
+    def set_loss(self, src: str, dst: str, probability: float) -> None:
+        """Drop each ``src``->``dst`` message independently w.p. ``p``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("loss probability must be in [0, 1]")
+        if probability > 0 and self._rng is None:
+            raise ConfigurationError(
+                "message loss requires a FaultInjector constructed "
+                "with a RandomSource"
+            )
+        self._loss[(src, dst)] = probability
+
+    # -- Queries -------------------------------------------------------------
+
+    def close(self, window: PartitionWindow, at: float) -> None:
+        """End a window early (no-op if it already ended)."""
+        window.end = min(window.end, max(at, window.start))
+
+    def should_drop(self, src: str, dst: str, now: float) -> bool:
+        """Decide the fate of one message (consumes randomness if lossy)."""
+        for window in self._windows:
+            if window.blocks(src, dst, now):
+                self._dropped_messages += 1
+                return True
+        probability = self._loss.get((src, dst), 0.0)
+        if probability > 0.0:
+            assert self._rng is not None
+            if self._rng.bernoulli(f"loss.{src}->{dst}", probability):
+                self._dropped_messages += 1
+                return True
+        return False
+
+    @property
+    def dropped_messages(self) -> int:
+        """Total messages dropped so far (partitions + loss)."""
+        return self._dropped_messages
+
+    def windows(self) -> list[PartitionWindow]:
+        """All configured partition windows, in configuration order."""
+        return list(self._windows)

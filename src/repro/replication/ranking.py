@@ -1,0 +1,195 @@
+"""Interest-ranked feed reads (the Facebook Feed substrate).
+
+The paper explains Facebook Feed's extreme anomaly rates by the
+*semantics of the service* (§V): "the reply to a read contains a subset
+of the writes, which are not the most recent ones, but a selection of
+writes based on a criteria that depends on the expected interest of
+these writes for the user issuing the read operation."  Order
+divergence is near 100% at every location, read-your-writes violations
+occur in 99% of tests, monotonic writes in 89%, monotonic reads in 46%.
+
+This module implements that semantic:
+
+* A single logical backing store holds every post in timestamp order —
+  Facebook's backing graph store is not where the anomalies come from.
+* Each post becomes *visible to each reader* only after an independent
+  **indexing lag** (feed pipelines fan posts out to per-user feed
+  indexes asynchronously; the author's own index is not updated
+  synchronously either, which is what makes read-your-writes fail).
+* A read computes, per visible post, an **interest score** =
+  recency + reader-specific noise resampled every read, returns the
+  top ``feed_size`` posts in score order, and independently drops any
+  post with small probability (selection churn).  Score noise larger
+  than typical inter-post age gaps reorders freely (order divergence,
+  monotonic-writes reordering); selection churn makes already-seen
+  posts vanish (monotonic reads) and fuels content divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.replication.ordering import timestamp_key
+from repro.replication.store import VersionedStore
+from repro.sim.event_loop import Simulator
+from repro.sim.random_source import RandomSource, derive_seed
+
+__all__ = ["RankedFeedParams", "RankedFeedStore"]
+
+
+@dataclass(frozen=True)
+class RankedFeedParams:
+    """Tunables for the ranked-feed substrate (defaults fit FB Feed)."""
+
+    #: Maximum number of posts returned by one read.
+    feed_size: int = 10
+    #: Median / log-sigma of the per-(post, reader) indexing lag (s).
+    index_lag_median: float = 0.6
+    index_lag_sigma: float = 0.65
+    #: Weight of recency in the interest score (per second of age).
+    recency_weight: float = 1.0
+    #: Standard deviation of the per-epoch interest noise, in
+    #: age-equivalent seconds.  Comparable to typical inter-post gaps,
+    #: so reorderings are routine but not universal.
+    noise_sd: float = 0.15
+    #: Interest scores are cached: the noise term for a (reader, post)
+    #: pair is resampled only once per this many seconds, so a
+    #: reader's feed order is stable between consecutive reads and
+    #: flips at epoch boundaries.
+    noise_period: float = 2.0
+    #: Probability an otherwise-visible post is dropped from one read
+    #: by the selection criteria (selection churn).
+    drop_prob: float = 0.004
+    #: Version/entry retention horizon (seconds).
+    retention: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.feed_size < 1:
+            raise ConfigurationError("feed_size must be >= 1")
+        if self.index_lag_median <= 0:
+            raise ConfigurationError("index_lag_median must be positive")
+        if self.noise_sd < 0:
+            raise ConfigurationError("noise_sd must be non-negative")
+        if self.noise_period <= 0:
+            raise ConfigurationError("noise_period must be positive")
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ConfigurationError("drop_prob must be in [0, 1]")
+
+
+class RankedFeedStore:
+    """A logical post store read through a per-user ranking pipeline."""
+
+    def __init__(self, sim: Simulator, rng: RandomSource,
+                 params: RankedFeedParams) -> None:
+        self._sim = sim
+        self._rng = rng
+        self._seed = rng.seed
+        self._params = params
+        self._store = VersionedStore(
+            now_fn=lambda: sim.now, retention=params.retention
+        )
+        #: (message_id, reader) -> time the post enters that reader's
+        #: feed index.  Sampled lazily per reader on first read attempt.
+        self._visible_at: dict[tuple[str, str], float] = {}
+        #: (reader, author) -> latest index time so far; the fanout
+        #: pipeline consumes each author's posts in order, so a later
+        #: post never enters a reader's index before an earlier one —
+        #: which is why indexing lag causes read-your-writes but not
+        #: monotonic-writes violations.
+        self._index_floor: dict[tuple[str, str], float] = {}
+        #: Memoized epoch noise, keyed (reader, message_id, epoch).
+        self._noise_cache: dict[tuple[str, str, int], float] = {}
+
+    @property
+    def store(self) -> VersionedStore:
+        return self._store
+
+    # -- Writes -----------------------------------------------------------
+
+    def write(self, author: str, message_id: str) -> float:
+        """Publish a post; returns its origin timestamp."""
+        origin_ts = self._sim.now
+        self._store.insert(
+            message_id, author, origin_ts,
+            sort_key=timestamp_key(origin_ts, 0, message_id),
+        )
+        return origin_ts
+
+    # -- Reads ------------------------------------------------------------
+
+    def read(self, reader: str) -> tuple[str, ...]:
+        """One ranked read for ``reader`` (highest interest first)."""
+        now = self._sim.now
+        drop_stream = f"drop.{reader}"
+        scored: list[tuple[float, str]] = []
+        for entry in self._store.entries():
+            if self._feed_index_time(entry.message_id, reader,
+                                     entry.author,
+                                     entry.origin_ts) > now:
+                continue  # not yet indexed into this reader's feed
+            if self._rng.bernoulli(drop_stream, self._params.drop_prob):
+                continue  # selection churn
+            age = now - entry.origin_ts
+            score = (-self._params.recency_weight * age
+                     + self._interest_noise(reader, entry.message_id,
+                                            now))
+            scored.append((score, entry.message_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        top = scored[:self._params.feed_size]
+        return tuple(message_id for _score, message_id in top)
+
+    def _interest_noise(self, reader: str, message_id: str,
+                        now: float) -> float:
+        """Epoch-stable interest noise for one (reader, post) pair.
+
+        Deterministic in (seed, reader, post, epoch): the same value
+        within an epoch (scores are cached server-side), resampled at
+        epoch boundaries.
+        """
+        if self._params.noise_sd == 0:
+            return 0.0
+        epoch = int(now / self._params.noise_period)
+        key = (reader, message_id, epoch)
+        noise = self._noise_cache.get(key)
+        if noise is None:
+            seed = derive_seed(
+                self._seed, f"interest.{reader}.{message_id}.{epoch}"
+            )
+            noise = random.Random(seed).gauss(0.0, self._params.noise_sd)
+            if len(self._noise_cache) > 16384:
+                # Old epochs are never asked for again.
+                self._noise_cache.clear()
+            self._noise_cache[key] = noise
+        return noise
+
+    def _feed_index_time(self, message_id: str, reader: str,
+                         author: str, origin_ts: float) -> float:
+        key = (message_id, reader)
+        when = self._visible_at.get(key)
+        if when is None:
+            lag = self._rng.lognormal(
+                f"index.{reader}",
+                median=self._params.index_lag_median,
+                sigma=self._params.index_lag_sigma,
+            )
+            when = origin_ts + lag
+            # Per-author FIFO: never indexed before a session
+            # predecessor.  (Entries are scanned in timestamp order, so
+            # predecessors are always sampled first.)
+            floor_key = (reader, author)
+            floor = self._index_floor.get(floor_key, float("-inf"))
+            when = max(when, floor)
+            self._index_floor[floor_key] = when
+            self._visible_at[key] = when
+            self._prune(origin_ts)
+        return when
+
+    def _prune(self, now: float) -> None:
+        if len(self._visible_at) < 8192:
+            return
+        horizon = now - self._params.retention
+        for key in [k for k, when in self._visible_at.items()
+                    if when < horizon]:
+            del self._visible_at[key]

@@ -1,0 +1,180 @@
+"""Versioned write stores shared by all replication substrates.
+
+A replica's externally visible state is a *sequence of writes* (§III:
+"read requests ... return a sequence of events that have been inserted
+into the state").  Because our service models serve reads from stale
+backends and lagged followers, a replica must answer not only "what is
+your state now" but "what was your state at time t".  :class:`VersionedStore`
+therefore records a new immutable version (an ordered tuple of message
+ids) after every mutation, and :meth:`VersionedStore.view_at` retrieves
+the version in force at any instant by binary search.
+
+Memory stays bounded across long campaigns via a retention horizon:
+versions older than ``retention`` seconds are pruned, as are entries for
+writes older than the horizon (the measurement harness only ever asks
+about the current test's messages, mirroring how the paper's agents
+parse only their own posts out of API responses).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StoredWrite", "VersionedStore"]
+
+
+@dataclass
+class StoredWrite:
+    """One write as a replica stores it.
+
+    Attributes
+    ----------
+    message_id:
+        The client-visible event id.
+    author:
+        The writing client.
+    origin_ts:
+        Timestamp assigned where the write was first accepted (the
+        service-side creation time used by ordering policies).
+    seq:
+        Arrival sequence number at *this* replica — monotonically
+        increasing, used by arrival-order and tie-break policies.
+    sort_key:
+        The key this replica currently orders the write by.  Eventual
+        substrates mutate this when a late write is "repaired" into its
+        canonical position.
+    """
+
+    message_id: str
+    author: str
+    origin_ts: float
+    seq: int
+    sort_key: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.sort_key:
+            self.sort_key = (self.origin_ts, self.seq)
+
+
+class VersionedStore:
+    """An ordered write store that remembers every past version.
+
+    Parameters
+    ----------
+    now_fn:
+        Zero-argument callable returning the current (ground-truth)
+        time; used to stamp versions and drive retention.
+    retention:
+        Seconds of version/entry history to keep.  Must comfortably
+        exceed a test's duration plus the largest read staleness.
+    """
+
+    def __init__(self, now_fn: Callable[[], float],
+                 retention: float = 600.0) -> None:
+        if retention <= 0:
+            raise ConfigurationError("retention must be positive")
+        self._now_fn = now_fn
+        self._retention = retention
+        self._entries: dict[str, StoredWrite] = {}
+        self._next_seq = 0
+        #: Parallel arrays: version i was in force from _version_times[i].
+        self._version_times: list[float] = []
+        self._versions: list[tuple[str, ...]] = []
+
+    # -- Mutation -----------------------------------------------------------
+
+    def insert(self, message_id: str, author: str, origin_ts: float,
+               sort_key: tuple | None = None) -> StoredWrite:
+        """Insert a write; duplicate ids are idempotently ignored.
+
+        Idempotence matters because anti-entropy may deliver the same
+        write through several paths.
+        """
+        existing = self._entries.get(message_id)
+        if existing is not None:
+            return existing
+        entry = StoredWrite(
+            message_id=message_id,
+            author=author,
+            origin_ts=origin_ts,
+            seq=self._next_seq,
+            sort_key=sort_key if sort_key is not None else (),
+        )
+        self._next_seq += 1
+        self._entries[message_id] = entry
+        self._record_version()
+        return entry
+
+    def reorder(self, message_id: str, sort_key: tuple) -> None:
+        """Change one write's position (eventual-repair support)."""
+        entry = self._entries.get(message_id)
+        if entry is None:
+            return  # pruned or never arrived; nothing to repair
+        if entry.sort_key == sort_key:
+            return
+        entry.sort_key = sort_key
+        self._record_version()
+
+    def _record_version(self) -> None:
+        now = self._now_fn()
+        # Prune first so the new version reflects post-retention state.
+        self._prune(now)
+        ordered = tuple(
+            entry.message_id
+            for entry in sorted(self._entries.values(),
+                                key=lambda e: e.sort_key)
+        )
+        if (self._version_times and self._version_times[-1] == now):
+            # Same-instant mutations collapse into one version.
+            self._versions[-1] = ordered
+        else:
+            self._version_times.append(now)
+            self._versions.append(ordered)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._retention
+        # Keep at least one version at or before the horizon so view_at
+        # still resolves for times just inside the retention window.
+        cut = bisect.bisect_right(self._version_times, horizon) - 1
+        if cut > 0:
+            del self._version_times[:cut]
+            del self._versions[:cut]
+        stale_ids = [mid for mid, entry in self._entries.items()
+                     if entry.origin_ts < horizon]
+        for mid in stale_ids:
+            del self._entries[mid]
+
+    # -- Queries -----------------------------------------------------------
+
+    def view_now(self) -> tuple[str, ...]:
+        """The current ordered sequence of message ids."""
+        return self._versions[-1] if self._versions else ()
+
+    def view_at(self, when: float) -> tuple[str, ...]:
+        """The ordered sequence in force at time ``when``."""
+        index = bisect.bisect_right(self._version_times, when) - 1
+        if index < 0:
+            return ()
+        return self._versions[index]
+
+    def contains(self, message_id: str) -> bool:
+        return message_id in self._entries
+
+    def entry(self, message_id: str) -> StoredWrite | None:
+        return self._entries.get(message_id)
+
+    def entries(self) -> list[StoredWrite]:
+        """All live entries in current order."""
+        return sorted(self._entries.values(), key=lambda e: e.sort_key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def version_count(self) -> int:
+        """Number of retained versions (for tests and diagnostics)."""
+        return len(self._versions)

@@ -1,0 +1,52 @@
+"""The four measured online services as black-box API models.
+
+========================  ==========================================
+Name                      Model
+========================  ==========================================
+``blogger``               Strong primary-backup; no anomalies
+``googleplus``            Two-DC eventual replication, shared account
+``facebook_feed``         Interest-ranked per-user feeds
+``facebook_group``        Sticky geo pair, 1s-truncated ordering
+========================  ==========================================
+
+Build one with :func:`build_service`; talk to it through the
+:class:`ServiceSession` returned by ``create_session``.
+"""
+
+from repro.services.base import OnlineService, ServiceSession
+from repro.services.blogger import BloggerParams, BloggerService
+from repro.services.facebook_feed import (
+    FacebookFeedParams,
+    FacebookFeedService,
+)
+from repro.services.facebook_group import (
+    FacebookGroupParams,
+    FacebookGroupService,
+)
+from repro.services.googleplus import GooglePlusParams, GooglePlusService
+from repro.services.profiles import (
+    EXTENSION_SERVICE_NAMES,
+    SERVICE_CLASSES,
+    SERVICE_NAMES,
+    build_service,
+)
+from repro.services.quorum_kv import QuorumKvParams, QuorumKvService
+
+__all__ = [
+    "OnlineService",
+    "ServiceSession",
+    "BloggerService",
+    "BloggerParams",
+    "GooglePlusService",
+    "GooglePlusParams",
+    "FacebookFeedService",
+    "FacebookFeedParams",
+    "FacebookGroupService",
+    "FacebookGroupParams",
+    "SERVICE_NAMES",
+    "EXTENSION_SERVICE_NAMES",
+    "QuorumKvService",
+    "QuorumKvParams",
+    "SERVICE_CLASSES",
+    "build_service",
+]

@@ -1,0 +1,199 @@
+"""Common service machinery: the session API agents program against.
+
+Every simulated service exposes the same two-operation surface the
+paper's §III model requires — a *write* that inserts an event and a
+*read* that returns the current sequence of events — behind
+service-specific API paths.  :class:`ServiceSession` is the agent-side
+handle: it owns an :class:`~repro.webapi.client.ApiClient` with the
+agent's bearer token and translates API responses into message-id
+sequences.
+
+Concrete services subclass :class:`OnlineService`, build their
+replication substrate and endpoints at construction, and implement
+:meth:`OnlineService.create_session` to route each agent to the right
+endpoint host (its home datacenter / edge).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.topology import Region, Topology
+from repro.sim.event_loop import Simulator
+from repro.sim.future import Future
+from repro.sim.random_source import RandomSource
+from repro.webapi.auth import Account, AccountRegistry
+from repro.webapi.client import ApiClient
+from repro.webapi.http import ApiResponse
+
+__all__ = ["ServiceSession", "OnlineService"]
+
+
+class ServiceSession:
+    """One agent's authenticated handle to a service.
+
+    Parameters
+    ----------
+    client:
+        The API client bound to the agent host and endpoint host.
+    account:
+        The account this session acts as.
+    post_path / fetch_path:
+        Service-specific API routes for writing and reading.
+    """
+
+    def __init__(self, client: ApiClient, account: Account,
+                 post_path: str, fetch_path: str) -> None:
+        self._client = client
+        self.account = account
+        self._post_path = post_path
+        self._fetch_path = fetch_path
+        self.writes_issued = 0
+        self.reads_issued = 0
+
+    def post_message(self, message_id: str) -> Future:
+        """Write one event; resolves to the service's response body.
+
+        The resolved value is the response body mapping (with at least
+        ``{"id": message_id}``); a :class:`~repro.errors.ServiceError`
+        failure carries rate-limit / auth problems.
+
+        The request carries a ``client_id`` (the posting device /
+        connection), which services with shared accounts — Google+
+        moments in the paper's setup — use to distinguish producers:
+        back-end fanout pipelines are per-producer, not per-account.
+        """
+        self.writes_issued += 1
+        return self._unwrap(
+            self._client.post(self._post_path, {
+                "message_id": message_id,
+                "client_id": self._client.client_host,
+            })
+        )
+
+    def fetch_messages(self) -> Future:
+        """Read the current sequence; resolves to a tuple of ids.
+
+        Every service API returns its list **newest first** and
+        paginated (the convention of real feed/blog APIs); the session
+        normalizes the first page to chronological event order, which
+        is the sequence model the anomaly definitions of §III are
+        stated over.  The paper's agents performed the same
+        normalization when parsing responses; the probe only ever
+        needs the current test's (newest) messages, so one page
+        suffices — use :meth:`fetch_history` to walk further back.
+        """
+        self.reads_issued += 1
+        raw = self._unwrap(self._client.get(self._fetch_path))
+        shaped: Future = Future(name="fetch.messages")
+        raw.add_callback(
+            lambda f: shaped.fail(f.exception) if f.failed
+            else shaped.resolve(
+                tuple(reversed(f.value.get("messages", ())))
+            )
+        )
+        return shaped
+
+    def fetch_history(self, max_pages: int = 4,
+                      page_limit: int | None = None) -> Future:
+        """Walk the cursor chain; resolves to the chronological tuple.
+
+        Issues up to ``max_pages`` successive GETs, following each
+        response's ``next_cursor``, then returns all collected ids
+        oldest-first.  Each page counts as one read request.
+        """
+        collected: list[str] = []
+        result: Future = Future(name="fetch.history")
+
+        def request_page(cursor, pages_left):
+            self.reads_issued += 1
+            params = {}
+            if cursor is not None:
+                params["cursor"] = cursor
+            if page_limit is not None:
+                params["limit"] = page_limit
+            page = self._unwrap(
+                self._client.get(self._fetch_path, params)
+            )
+            page.add_callback(
+                lambda f: on_page(f, pages_left)
+            )
+
+        def on_page(future, pages_left):
+            if future.failed:
+                result.fail(future.exception)
+                return
+            body = future.value
+            collected.extend(body.get("messages", ()))
+            next_cursor = body.get("next_cursor")
+            if next_cursor is None or pages_left <= 1:
+                result.resolve(tuple(reversed(collected)))
+            else:
+                request_page(next_cursor, pages_left - 1)
+
+        request_page(None, max(max_pages, 1))
+        return result
+
+    @staticmethod
+    def _unwrap(response_future: Future) -> Future:
+        """Map an ApiResponse future to a body future, raising on 4xx/5xx."""
+        body: Future = Future(name="unwrap")
+
+        def on_done(future: Future) -> None:
+            if future.failed:
+                body.fail(future.exception)
+                return
+            response = future.value
+            assert isinstance(response, ApiResponse)
+            try:
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001 - forwarded
+                body.fail(exc)
+                return
+            body.resolve(dict(response.body))
+
+        response_future.add_callback(on_done)
+        return body
+
+
+class OnlineService(abc.ABC):
+    """Base class for the four simulated services."""
+
+    #: Registry name, e.g. "blogger"; set by subclasses.
+    name: str = ""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 network: Network, rng: RandomSource) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._network = network
+        self._rng = rng
+        self._accounts = AccountRegistry(self.name or type(self).__name__)
+
+    @property
+    def accounts(self) -> AccountRegistry:
+        return self._accounts
+
+    @abc.abstractmethod
+    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
+        """Create an authenticated session for an agent."""
+
+    # -- Shared helpers for subclasses ------------------------------------
+
+    def _place(self, host: str, region: Region) -> None:
+        """Place a service host, registering the region if needed."""
+        self._topology.add_region(region)
+        self._topology.place_host(host, region)
+
+    def _region_name_of(self, host: str) -> str:
+        return self._topology.region_of(host).name
+
+    @staticmethod
+    def _require(mapping: dict[str, Any], key: str, what: str) -> Any:
+        try:
+            return mapping[key]
+        except KeyError:
+            raise ConfigurationError(f"no {what} for {key!r}") from None

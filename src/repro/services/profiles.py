@@ -1,0 +1,57 @@
+"""Service registry: build any of the four measured services by name.
+
+:func:`build_service` is the single construction point used by the
+campaign runner, the CLI, and the examples.  Service-specific parameter
+objects can be passed through to override defaults (for ablations and
+what-if experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.services.base import OnlineService
+from repro.services.blogger import BloggerService
+from repro.services.facebook_feed import FacebookFeedService
+from repro.services.facebook_group import FacebookGroupService
+from repro.services.googleplus import GooglePlusService
+from repro.services.quorum_kv import QuorumKvService
+from repro.sim.event_loop import Simulator
+from repro.sim.random_source import RandomSource
+
+__all__ = ["SERVICE_NAMES", "EXTENSION_SERVICE_NAMES",
+           "SERVICE_CLASSES", "build_service"]
+
+SERVICE_CLASSES: dict[str, type[OnlineService]] = {
+    BloggerService.name: BloggerService,
+    GooglePlusService.name: GooglePlusService,
+    FacebookFeedService.name: FacebookFeedService,
+    FacebookGroupService.name: FacebookGroupService,
+    QuorumKvService.name: QuorumKvService,
+}
+
+#: The paper's four services, in its presentation order.
+SERVICE_NAMES = ("googleplus", "blogger", "facebook_feed",
+                 "facebook_group")
+
+#: Additional measurable services (the storage-system extension).
+EXTENSION_SERVICE_NAMES = ("quorum_kv",)
+
+
+def build_service(name: str, sim: Simulator, topology: Topology,
+                  network: Network, rng: RandomSource,
+                  params: Any | None = None) -> OnlineService:
+    """Instantiate the named service into an existing world."""
+    try:
+        service_class = SERVICE_CLASSES[name]
+    except KeyError:
+        known = SERVICE_NAMES + EXTENSION_SERVICE_NAMES
+        raise ConfigurationError(
+            f"unknown service {name!r}; choose from {known}"
+        ) from None
+    if params is None:
+        return service_class(sim, topology, network, rng)
+    return service_class(sim, topology, network, rng, params=params)

@@ -1,0 +1,167 @@
+"""A quorum-replicated storage service (the paper's future-work target).
+
+The paper's conclusion proposes applying the methodology "to
+large-scale storage systems"; this service makes that concrete: a
+Dynamo-style key-value/event store with one replica per agent region
+and configurable read/write quorum sizes, exposed through the same
+black-box web API the other services use — so the unchanged §IV
+methodology measures it.
+
+The interesting knob is ``QuorumParams(read_quorum, write_quorum)``:
+
+* ``R = W = 1`` — fastest, maximally weak: clients frequently read
+  replicas that have not yet applied recent writes, producing
+  read-your-writes, monotonic-reads, and content-divergence anomalies.
+* ``R + W > N`` (e.g. ``R = W = 2`` with N = 3) — overlapping quorums:
+  every read intersects every acknowledged write, eliminating the
+  session anomalies at the cost of higher operation latency.
+
+See ``benchmarks/test_quorum_knob.py`` for the resulting ablation
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.network import Network
+from repro.net.topology import IRELAND, OREGON, TOKYO, Region, Topology
+from repro.replication.quorum import QuorumParams, QuorumStore
+from repro.services.base import OnlineService, ServiceSession
+from repro.sim.event_loop import Simulator
+from repro.sim.future import Future
+from repro.sim.random_source import RandomSource
+from repro.webapi.auth import Account
+from repro.webapi.client import ApiClient
+from repro.webapi.endpoint import ServiceEndpoint
+from repro.webapi.http import ApiRequest
+from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
+from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+
+__all__ = ["QuorumKvParams", "QuorumKvService"]
+
+EVENTS_PATH = "/kv/events"
+
+#: One replica in each agent region (the Dynamo-style placement).
+REPLICA_REGIONS: tuple[Region, ...] = (OREGON, TOKYO, IRELAND)
+
+
+@dataclass(frozen=True)
+class QuorumKvParams:
+    """Service-level tunables for the quorum store."""
+
+    quorum: QuorumParams = field(default_factory=QuorumParams)
+    write_processing_median: float = 0.03
+    read_processing_median: float = 0.02
+    rate_limit: RateLimit = RateLimit(max_requests=30, window=1.0)
+
+
+class QuorumKvService(OnlineService):
+    """The quorum KV model: per-region replicas and front-ends."""
+
+    name = "quorum_kv"
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 network: Network, rng: RandomSource,
+                 params: QuorumKvParams | None = None) -> None:
+        super().__init__(sim, topology, network, rng)
+        self._params = params or QuorumKvParams()
+        replica_hosts = []
+        for index, region in enumerate(REPLICA_REGIONS):
+            host = f"kv-replica-{index}"
+            self._place(host, region)
+            replica_hosts.append(host)
+        frontend_hosts = []
+        self._frontend_by_region: dict[str, str] = {}
+        for region in REPLICA_REGIONS:
+            host = f"kv-frontend-{region.name}"
+            self._place(host, region)
+            frontend_hosts.append(host)
+            self._frontend_by_region[region.name] = host
+        self._store = QuorumStore(
+            sim, network, self._params.quorum,
+            replica_hosts=replica_hosts,
+            frontend_hosts=frontend_hosts,
+            rng=rng.child("quorum"),
+        )
+        rate_limiter = SlidingWindowRateLimiter(
+            self._params.rate_limit, now_fn=lambda: sim.now
+        )
+        self._api_by_region: dict[str, str] = {}
+        for region in REPLICA_REGIONS:
+            api_host = f"kv-api-{region.name}"
+            self._place(api_host, region)
+            endpoint = ServiceEndpoint(
+                sim, network, api_host,
+                accounts=self._accounts,
+                rate_limiter=rate_limiter,
+                rng=rng.child(f"endpoint.{api_host}"),
+            )
+            frontend = self._frontend_by_region[region.name]
+            endpoint.route(
+                "POST", EVENTS_PATH,
+                self._make_post_handler(frontend),
+                processing_delay_median=(
+                    self._params.write_processing_median
+                ),
+            )
+            endpoint.route(
+                "GET", EVENTS_PATH,
+                self._make_list_handler(frontend),
+                processing_delay_median=(
+                    self._params.read_processing_median
+                ),
+            )
+            self._api_by_region[region.name] = api_host
+
+    # -- Route handlers --------------------------------------------------
+
+    def _make_post_handler(self, frontend: str):
+        def handler(request: ApiRequest, account: Account):
+            message_id = request.require_param("message_id")
+            ack = self._store.write(frontend, message_id,
+                                    account.user_id)
+            shaped: Future = Future(name=f"kv.post.{message_id}")
+            ack.add_callback(
+                lambda f: shaped.fail(f.exception) if f.failed
+                else shaped.resolve(
+                    {"id": message_id, "published": f.value}
+                )
+            )
+            return shaped
+        return handler
+
+    def _make_list_handler(self, frontend: str):
+        def handler(request: ApiRequest, account: Account):
+            merged = self._store.read(frontend)
+            shaped: Future = Future(name="kv.list")
+
+            def on_done(future: Future) -> None:
+                if future.failed:
+                    shaped.fail(future.exception)
+                    return
+                newest_first = list(reversed(future.value))
+                page = paginate(
+                    newest_first,
+                    cursor=request.param("cursor"),
+                    limit=request.param("limit", DEFAULT_PAGE_SIZE),
+                )
+                shaped.resolve({"messages": list(page.items),
+                                "next_cursor": page.next_cursor})
+
+            merged.add_callback(on_done)
+            return shaped
+        return handler
+
+    # -- Sessions -----------------------------------------------------------
+
+    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
+        account = self._accounts.create_account(agent)
+        region = self._region_name_of(agent_host)
+        api_host = self._require(self._api_by_region, region,
+                                 "quorum API host")
+        client = ApiClient(self._network, agent_host, api_host,
+                           account.token)
+        return ServiceSession(client, account,
+                              post_path=EVENTS_PATH,
+                              fetch_path=EVENTS_PATH)

@@ -1,0 +1,36 @@
+"""Black-box web-API façade for the simulated services.
+
+The measurement methodology is black-box: agents interact with services
+only through API requests, exactly as the paper's agents used the
+Blogger, Google+ and Facebook Graph APIs.  This subpackage provides the
+request/response types (:mod:`repro.webapi.http`), bearer-token
+accounts (:mod:`repro.webapi.auth`), server-side sliding-window rate
+limiting (:mod:`repro.webapi.ratelimit`), the endpoint pipeline that
+ties them together over the simulated network
+(:mod:`repro.webapi.endpoint`), and the client agents call
+(:mod:`repro.webapi.client`).
+"""
+
+from repro.webapi.auth import Account, AccountRegistry
+from repro.webapi.client import ApiClient
+from repro.webapi.endpoint import EndpointStats, ServiceEndpoint
+from repro.webapi.http import ApiRequest, ApiResponse, error_response, ok
+from repro.webapi.pagination import DEFAULT_PAGE_SIZE, Page, paginate
+from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+
+__all__ = [
+    "Page",
+    "paginate",
+    "DEFAULT_PAGE_SIZE",
+    "ApiRequest",
+    "ApiResponse",
+    "ok",
+    "error_response",
+    "Account",
+    "AccountRegistry",
+    "ApiClient",
+    "ServiceEndpoint",
+    "EndpointStats",
+    "RateLimit",
+    "SlidingWindowRateLimiter",
+]

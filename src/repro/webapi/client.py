@@ -1,0 +1,53 @@
+"""The API client agents use to talk to a service endpoint.
+
+A thin wrapper over :meth:`repro.net.network.Network.rpc` that speaks
+:class:`~repro.webapi.http.ApiRequest` / ``ApiResponse``, carries the
+bearer token, and counts requests — the counts feed the campaign totals
+the paper reports (total reads/writes per service, §V).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.net.network import DEFAULT_RPC_TIMEOUT, Network
+from repro.sim.future import Future
+from repro.webapi.http import ApiRequest
+
+__all__ = ["ApiClient"]
+
+
+class ApiClient:
+    """A client bound to (agent host, service host, bearer token)."""
+
+    def __init__(self, network: Network, client_host: str,
+                 service_host: str, token: str,
+                 timeout: float = DEFAULT_RPC_TIMEOUT) -> None:
+        self._network = network
+        self.client_host = client_host
+        self.service_host = service_host
+        self._token = token
+        self._timeout = timeout
+        self.requests_sent = 0
+
+    def get(self, path: str,
+            params: Mapping[str, Any] | None = None) -> Future:
+        """Issue a GET; resolves to an :class:`ApiResponse`."""
+        return self._request("GET", path, params)
+
+    def post(self, path: str,
+             params: Mapping[str, Any] | None = None) -> Future:
+        """Issue a POST; resolves to an :class:`ApiResponse`."""
+        return self._request("POST", path, params)
+
+    def _request(self, method: str, path: str,
+                 params: Mapping[str, Any] | None) -> Future:
+        self.requests_sent += 1
+        request = ApiRequest(
+            method=method, path=path, params=dict(params or {}),
+            token=self._token,
+        )
+        return self._network.rpc(
+            self.client_host, self.service_host, request,
+            timeout=self._timeout,
+        )

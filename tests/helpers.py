@@ -1,0 +1,45 @@
+"""Shared helpers for building hand-crafted traces in tests."""
+
+from __future__ import annotations
+
+from repro.core import ReadOp, TestTrace, WriteOp
+
+DEFAULT_AGENTS = ("oregon", "tokyo", "ireland")
+
+
+def write(agent: str, message_id: str, at: float,
+          response: float | None = None) -> WriteOp:
+    """A write invoked at ``at`` that completes 0.1s later by default."""
+    return WriteOp(
+        agent=agent,
+        message_id=message_id,
+        invoke_local=at,
+        response_local=response if response is not None else at + 0.1,
+    )
+
+
+def read(agent: str, observed: tuple[str, ...] | list[str], at: float,
+         response: float | None = None) -> ReadOp:
+    """A read invoked at ``at`` that completes 0.1s later by default."""
+    return ReadOp(
+        agent=agent,
+        observed=tuple(observed),
+        invoke_local=at,
+        response_local=response if response is not None else at + 0.1,
+    )
+
+
+def make_trace(operations, agents=DEFAULT_AGENTS, test_id="t-1",
+               service="unit", test_type="test1", clock_deltas=None,
+               wfr_triggers=None) -> TestTrace:
+    """Bundle operations into a validated TestTrace."""
+    trace = TestTrace(
+        test_id=test_id,
+        service=service,
+        test_type=test_type,
+        agents=tuple(agents),
+        clock_deltas=clock_deltas or {},
+        wfr_triggers=wfr_triggers or {},
+    )
+    trace.extend(operations)
+    return trace

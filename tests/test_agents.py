@@ -1,0 +1,158 @@
+"""Tests for the measurement agent and coordinator."""
+
+import pytest
+
+from repro.core import TestTrace
+from repro.methodology import MeasurementWorld
+from repro.sim import spawn
+
+
+def make_agent_world(service="blogger", seed=6):
+    world = MeasurementWorld(service, seed=seed)
+    agent = world.agent("oregon")
+    trace = TestTrace(
+        test_id="t", service=service, test_type="test1",
+        agents=world.agent_names,
+    )
+    return world, agent, trace
+
+
+def drive(world, generator_fn, *args, **kwargs):
+    process = spawn(world.sim, generator_fn, *args, **kwargs)
+    while not process.completion.done:
+        world.sim.run_until(world.sim.now + 30.0)
+    return process.completion.value
+
+
+class TestTimedOperations:
+    def test_post_logs_write_with_local_times(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        ok = drive(world, agent.timed_post, "M1")
+        assert ok is True
+        (write,) = trace.writes()
+        assert write.agent == "oregon"
+        assert write.message_id == "M1"
+        assert write.response_local > write.invoke_local
+        # Local clock is skewed; true times differ from local ones.
+        assert write.true_invoke != write.invoke_local
+        assert agent.total_writes == 1
+
+    def test_fetch_logs_filtered_observation(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        drive(world, agent.timed_post, "M1")
+        observed = drive(world, agent.timed_fetch)
+        assert observed == ("M1",)
+        assert agent.has_seen("M1")
+        (read,) = trace.reads()
+        assert read.observed == ("M1",)
+
+    def test_fetch_filters_out_foreign_messages(self):
+        world, agent, trace = make_agent_world()
+        # The service also holds messages from outside this test.
+        agent.begin_test(trace, ["M-other"])
+        drive(world, agent.timed_post, "M-other")
+        agent.end_test()
+        trace2 = TestTrace(test_id="t2", service="blogger",
+                           test_type="test1",
+                           agents=world.agent_names)
+        agent.begin_test(trace2, ["M-new"])
+        observed = drive(world, agent.timed_fetch)
+        assert observed == ()  # M-other filtered out
+
+    def test_operations_outside_test_are_not_logged(self):
+        world, agent, trace = make_agent_world()
+        drive(world, agent.timed_post, "M1")
+        assert len(trace) == 0
+        assert agent.total_writes == 1  # counted, just not logged
+
+
+class TestReadLoop:
+    def test_loop_reads_at_period_until_stopped(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        loop = spawn(world.sim, agent.read_loop, 0.3)
+        world.sim.run_until(world.sim.now + 3.0)
+        agent.stop_reading()
+        world.sim.run_until(world.sim.now + 2.0)
+        reads = trace.reads_by("oregon")
+        assert 6 <= len(reads) <= 11
+        assert not loop.alive
+
+    def test_loop_honors_max_reads(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        loop = spawn(world.sim, agent.read_loop, 0.3, max_reads=4)
+        world.sim.run_until(world.sim.now + 10.0)
+        assert loop.completion.value == 4
+        assert len(trace.reads_by("oregon")) == 4
+
+    def test_loop_slows_after_threshold(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        spawn(world.sim, agent.read_loop, 0.3, max_reads=8,
+              slow_after=4, slow_period=1.0)
+        world.sim.run_until(world.sim.now + 15.0)
+        reads = trace.reads_by("oregon")
+        assert len(reads) == 8
+        fast_gap = reads[1].invoke_local - reads[0].invoke_local
+        slow_gap = reads[6].invoke_local - reads[5].invoke_local
+        assert fast_gap < 0.6
+        assert slow_gap > 0.8
+
+    def test_loop_stops_when_test_ends(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        loop = spawn(world.sim, agent.read_loop, 0.3)
+        world.sim.run_until(world.sim.now + 1.0)
+        agent.end_test()
+        world.sim.run_until(world.sim.now + 2.0)
+        assert not loop.alive
+
+
+class TestWaitUntilSeen:
+    def test_wait_resolves_after_observation(self):
+        world, agent, trace = make_agent_world()
+        agent.begin_test(trace, ["M1"])
+        spawn(world.sim, agent.read_loop, 0.3)
+
+        def poster():
+            yield 1.0
+            yield from agent.timed_post("M1")
+
+        spawn(world.sim, poster)
+        waited = drive(world, agent.wait_until_seen, "M1")
+        assert waited is None
+        assert agent.has_seen("M1")
+
+
+class TestCoordinator:
+    def test_sync_clocks_estimates_all_agents(self):
+        world = MeasurementWorld("blogger", seed=6)
+        estimates = drive(world, world.coordinator.sync_clocks)
+        assert set(estimates) == {"oregon", "tokyo", "ireland"}
+        for agent in world.agents:
+            estimate = estimates[agent.name]
+            true_delta = (agent.clock.now()
+                          - world.coordinator.clock.now())
+            assert abs(estimate.delta - true_delta) \
+                <= 2 * estimate.uncertainty
+
+    def test_delta_and_uncertainty_maps(self):
+        world = MeasurementWorld("blogger", seed=6)
+        drive(world, world.coordinator.sync_clocks)
+        deltas = world.coordinator.delta_map()
+        uncertainties = world.coordinator.uncertainty_map()
+        assert set(deltas) == set(uncertainties) == {
+            "oregon", "tokyo", "ireland",
+        }
+        # Tokyo has the largest coordinator RTT (218 ms), so the
+        # largest uncertainty bound.
+        assert uncertainties["tokyo"] == max(uncertainties.values())
+
+    def test_reference_now_is_coordinator_clock(self):
+        world = MeasurementWorld("blogger", seed=6)
+        assert world.coordinator.reference_now() == pytest.approx(
+            world.coordinator.clock.now()
+        )

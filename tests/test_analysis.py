@@ -1,0 +1,242 @@
+"""Tests for the analysis pipeline (figure regeneration)."""
+
+import pytest
+
+from repro.analysis import (
+    campaign_totals,
+    correlation_table,
+    distribution_table,
+    full_report,
+    location_correlation,
+    occurrence_distribution,
+    pair_divergence,
+    pair_divergence_table,
+    prevalence_rows,
+    prevalence_table,
+    assessing_test_type,
+    window_cdf_table,
+    window_cdfs,
+)
+from repro.core import (
+    CONTENT_DIVERGENCE,
+    MONOTONIC_WRITES,
+    ORDER_DIVERGENCE,
+    READ_YOUR_WRITES,
+)
+from repro.core.windows import WindowResult
+from repro.methodology import CampaignConfig, run_campaign
+from repro.methodology.runner import CampaignResult, TestRecord, analyze_trace
+
+from tests.helpers import make_trace, read, write
+
+
+def record_from_ops(ops, test_id="t", test_type="test1", **kwargs):
+    trace = make_trace(ops, test_id=test_id, test_type=test_type,
+                       **kwargs)
+    record = analyze_trace(trace)
+    return record
+
+
+def make_result(records, service="unit"):
+    result = CampaignResult(service=service,
+                            config=CampaignConfig(num_tests=1))
+    result.records.extend(records)
+    return result
+
+
+RYW_OPS = [
+    write("oregon", "M1", 0.0),
+    read("oregon", (), 1.0),
+    read("oregon", ("M1",), 2.0),
+]
+CLEAN_OPS = [
+    write("oregon", "M1", 0.0),
+    read("oregon", ("M1",), 1.0),
+]
+DIVERGENT_OPS = [
+    write("oregon", "M1", 0.0),
+    write("tokyo", "M2", 0.0),
+    read("oregon", ("M1",), 1.0),
+    read("tokyo", ("M2",), 1.0),
+    read("oregon", ("M1", "M2"), 4.0),
+    read("tokyo", ("M1", "M2"), 4.0),
+]
+
+
+class TestPrevalence:
+    def test_test_type_routing(self):
+        assert assessing_test_type(READ_YOUR_WRITES) == "test1"
+        assert assessing_test_type(CONTENT_DIVERGENCE) == "test2"
+
+    def test_rows_count_anomalous_tests(self):
+        records = [
+            record_from_ops(RYW_OPS, test_id="a"),
+            record_from_ops(CLEAN_OPS, test_id="b"),
+        ]
+        result = make_result(records)
+        rows = {row.anomaly: row for row in prevalence_rows(result)}
+        ryw = rows[READ_YOUR_WRITES]
+        assert ryw.tests_with_anomaly == 1
+        assert ryw.total_tests == 2
+        assert ryw.percent == pytest.approx(50.0)
+
+    def test_zero_tests_gives_zero_fraction(self):
+        result = make_result([])
+        rows = prevalence_rows(result)
+        assert all(row.fraction == 0.0 for row in rows)
+
+    def test_table_renders_all_services(self):
+        result = make_result([record_from_ops(RYW_OPS)])
+        table = prevalence_table({"svc-a": result, "svc-b": result})
+        assert "svc-a" in table and "svc-b" in table
+        assert "read_your_writes" in table
+
+
+class TestDistributions:
+    def test_counts_bucketed_per_agent(self):
+        # One test with two RYW observations for oregon.
+        ops = [
+            write("oregon", "M1", 0.0),
+            read("oregon", (), 1.0),
+            read("oregon", (), 2.0),
+            read("oregon", ("M1",), 3.0),
+        ]
+        result = make_result([record_from_ops(ops)])
+        panel = occurrence_distribution(result, READ_YOUR_WRITES)
+        assert panel.histograms["oregon"]["2"] == 1
+        assert panel.tests_with_anomaly("oregon") == 1
+        assert panel.tests_with_anomaly("tokyo") == 0
+
+    def test_zero_observation_tests_not_counted(self):
+        result = make_result([record_from_ops(CLEAN_OPS)])
+        panel = occurrence_distribution(result, READ_YOUR_WRITES)
+        assert panel.tests_with_anomaly("oregon") == 0
+
+    def test_table_renders(self):
+        result = make_result([record_from_ops(RYW_OPS)])
+        panel = occurrence_distribution(result, READ_YOUR_WRITES)
+        text = distribution_table(panel)
+        assert "oregon" in text
+        assert ">10" in text
+
+
+class TestCorrelation:
+    def test_exclusive_observation(self):
+        result = make_result([record_from_ops(RYW_OPS)])
+        breakdown = location_correlation(result, READ_YOUR_WRITES)
+        assert breakdown.combos == {("oregon",): 1}
+        assert breakdown.fraction_exclusive() == 1.0
+        assert breakdown.fraction_global() == 0.0
+
+    def test_global_observation(self):
+        ops = [
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M2",), 2.0),
+            read("tokyo", ("M2",), 2.0),
+            read("ireland", ("M2",), 2.0),
+        ]
+        result = make_result([record_from_ops(ops)])
+        breakdown = location_correlation(result, MONOTONIC_WRITES)
+        assert breakdown.combos == {("ireland", "oregon", "tokyo"): 1}
+        assert breakdown.fraction_global() == 1.0
+
+    def test_no_anomaly_fractions_are_zero(self):
+        result = make_result([record_from_ops(CLEAN_OPS)])
+        breakdown = location_correlation(result, READ_YOUR_WRITES)
+        assert breakdown.fraction_exclusive() == 0.0
+
+    def test_table_renders(self):
+        result = make_result([record_from_ops(RYW_OPS)])
+        text = correlation_table(
+            location_correlation(result, READ_YOUR_WRITES)
+        )
+        assert "oregon" in text
+
+
+class TestPairDivergence:
+    def test_counts_pairs(self):
+        records = [
+            record_from_ops(DIVERGENT_OPS, test_type="test2"),
+            record_from_ops(CLEAN_OPS, test_type="test2"),
+        ]
+        result = make_result(records)
+        prevalence = pair_divergence(result)
+        assert prevalence.fraction(("oregon", "tokyo")) == 0.5
+        assert prevalence.fraction(("ireland", "oregon")) == 0.0
+
+    def test_rejects_session_anomaly(self):
+        result = make_result([])
+        with pytest.raises(ValueError):
+            pair_divergence(result, anomaly=READ_YOUR_WRITES)
+
+    def test_table_renders_all_pairs(self):
+        result = make_result(
+            [record_from_ops(DIVERGENT_OPS, test_type="test2")]
+        )
+        text = pair_divergence_table(
+            pair_divergence(result), ("oregon", "tokyo", "ireland")
+        )
+        assert "oregon" in text and "ireland" in text
+
+
+class TestWindowCdfs:
+    def test_samples_use_largest_converged_window(self):
+        record = record_from_ops(DIVERGENT_OPS, test_type="test2")
+        result = make_result([record])
+        cdf_set = window_cdfs(result, kind="content")
+        samples = cdf_set.samples[("oregon", "tokyo")]
+        assert len(samples) == 1
+        assert samples[0] == pytest.approx(3.0)
+        assert cdf_set.unconverged_fraction(("oregon", "tokyo")) == 0.0
+
+    def test_unconverged_runs_are_excluded_but_counted(self):
+        ops = [
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("tokyo", ("M2",), 1.5),
+        ]
+        result = make_result([record_from_ops(ops, test_type="test2")])
+        cdf_set = window_cdfs(result, kind="content")
+        pair = ("oregon", "tokyo")
+        assert pair not in cdf_set.samples
+        assert cdf_set.unconverged[pair] == 1
+        assert cdf_set.unconverged_fraction(pair) == 1.0
+
+    def test_order_kind(self):
+        result = make_result(
+            [record_from_ops(DIVERGENT_OPS, test_type="test2")]
+        )
+        cdf_set = window_cdfs(result, kind="order")
+        assert cdf_set.kind == "order"
+
+    def test_invalid_kind_rejected(self):
+        result = make_result([])
+        with pytest.raises(ValueError):
+            window_cdfs(result, kind="chaos")
+
+    def test_table_renders(self):
+        result = make_result(
+            [record_from_ops(DIVERGENT_OPS, test_type="test2")]
+        )
+        text = window_cdf_table(window_cdfs(result, kind="content"))
+        assert "oregon-tokyo" in text
+
+
+class TestFullReport:
+    def test_report_on_real_campaign(self):
+        result = run_campaign("googleplus",
+                              CampaignConfig(num_tests=6, seed=5))
+        report = full_report({"googleplus": result})
+        assert "Figure 3" in report
+        assert "Figure 8" in report
+        assert "Figure 10" in report
+        assert "googleplus" in report
+
+    def test_campaign_totals_line(self):
+        result = run_campaign("blogger",
+                              CampaignConfig(num_tests=2, seed=5))
+        line = campaign_totals(result)
+        assert "blogger" in line
+        assert "4 tests" in line

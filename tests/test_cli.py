@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_service(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_rejects_unknown_service(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--service", "myspace"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--service", "blogger"])
+        assert args.tests == 50
+        assert args.seed == 0
+        assert args.gap == 15.0
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--service", "blogger", "--tests", "2",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service: blogger" in out
+        assert "read_your_writes" in out
+        assert "tests:   4" in out
+
+    def test_figures_single_service(self, capsys):
+        code = main(["figures", "--services", "blogger", "--tests", "2",
+                     "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Figure 9" in out
+
+    def test_figures_rejects_unknown_service(self, capsys):
+        code = main(["figures", "--services", "blogger,myspace",
+                     "--tests", "2"])
+        assert code == 2
+        assert "unknown services" in capsys.readouterr().err
+
+    def test_run_with_output_then_report(self, capsys, tmp_path):
+        saved = tmp_path / "blogger.json"
+        code = main(["run", "--service", "blogger", "--tests", "2",
+                     "--seed", "1", "--output", str(saved)])
+        assert code == 0
+        assert saved.exists()
+        capsys.readouterr()
+        code = main(["report", str(saved)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "blogger" in out
+
+    def test_clocksync_reports_bounded_errors(self, capsys):
+        code = main(["clocksync", "--seed", "4", "--samples", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines()
+                 if line.strip().startswith(("oregon", "tokyo",
+                                             "ireland"))]
+        assert len(lines) == 3
+        for line in lines:
+            parts = line.split()
+            error, bound = float(parts[3]), float(parts[4])
+            assert error <= bound

@@ -1,0 +1,116 @@
+"""Tests for the Cristian-style clock-delta estimation protocol."""
+
+import pytest
+
+from repro.clocksync import (
+    DeltaEstimate,
+    estimate_clock_delta,
+    make_time_query_handler,
+)
+from repro.errors import ConfigurationError
+from repro.net import (
+    OREGON,
+    VIRGINIA,
+    JitterParams,
+    LatencyModel,
+    Network,
+    paper_topology,
+)
+from repro.sim import DriftingClock, RandomSource, Simulator, spawn
+
+
+def make_sync_world(agent_offset=2.5, agent_drift=0.0, sigma=0.1,
+                    seed=1):
+    sim = Simulator()
+    topo = paper_topology()
+    topo.place_host("coordinator", VIRGINIA)
+    topo.place_host("agent", OREGON)
+    rng = RandomSource(seed=seed)
+    net = Network(sim, LatencyModel(topo, rng.child("net"),
+                                    JitterParams(sigma=sigma)))
+    coordinator_clock = DriftingClock(sim, offset=-1.0, drift_ppm=5.0)
+    agent_clock = DriftingClock(sim, offset=agent_offset,
+                                drift_ppm=agent_drift)
+    net.attach("coordinator")
+    net.attach("agent", rpc_handler=make_time_query_handler(agent_clock))
+    return sim, net, coordinator_clock, agent_clock
+
+
+def run_estimation(sim, net, coordinator_clock, samples=8):
+    process = spawn(
+        sim, estimate_clock_delta, net, "coordinator",
+        coordinator_clock, "agent", samples=samples,
+    )
+    sim.run()
+    return process.completion.value
+
+
+class TestEstimation:
+    def test_estimate_recovers_true_delta(self):
+        sim, net, coord_clock, agent_clock = make_sync_world()
+        estimate = run_estimation(sim, net, coord_clock)
+        true_delta = agent_clock.now() - coord_clock.now()
+        assert abs(estimate.delta - true_delta) < estimate.uncertainty
+
+    def test_uncertainty_is_half_mean_rtt(self):
+        sim, net, coord_clock, _ = make_sync_world(sigma=0.0)
+        estimate = run_estimation(sim, net, coord_clock)
+        # Paper RTT Virginia-Oregon is 136ms; zero jitter makes the
+        # measured RTT exact (in coordinator-clock units).
+        assert estimate.uncertainty == pytest.approx(0.068, rel=0.01)
+        assert estimate.mean_rtt == pytest.approx(0.136, rel=0.01)
+
+    def test_correct_maps_local_to_reference(self):
+        estimate = DeltaEstimate(agent_host="a", delta=2.0,
+                                 uncertainty=0.1, mean_rtt=0.2,
+                                 samples=4)
+        assert estimate.correct(12.0) == pytest.approx(10.0)
+
+    def test_sample_count_respected(self):
+        sim, net, coord_clock, _ = make_sync_world()
+        estimate = run_estimation(sim, net, coord_clock, samples=3)
+        assert estimate.samples == 3
+
+    def test_zero_samples_rejected(self):
+        sim, net, coord_clock, _ = make_sync_world()
+        with pytest.raises(ConfigurationError):
+            list(estimate_clock_delta(net, "coordinator", coord_clock,
+                                      "agent", samples=0))
+
+    def test_error_grows_with_jitter_but_stays_bounded(self):
+        errors = []
+        for sigma in (0.0, 0.3):
+            sim, net, coord_clock, agent_clock = make_sync_world(
+                sigma=sigma, seed=5
+            )
+            estimate = run_estimation(sim, net, coord_clock, samples=10)
+            true_delta = agent_clock.now() - coord_clock.now()
+            error = abs(estimate.delta - true_delta)
+            errors.append(error)
+            assert error < estimate.uncertainty * 2
+        assert errors[0] <= errors[1]
+
+    def test_drifting_agent_clock_is_tracked(self):
+        sim, net, coord_clock, agent_clock = make_sync_world(
+            agent_drift=40.0
+        )
+        sim.run_until(3600.0)  # let drift accumulate ~0.14s
+        estimate = run_estimation(sim, net, coord_clock)
+        true_delta = agent_clock.now() - coord_clock.now()
+        assert abs(estimate.delta - true_delta) < 0.05
+
+
+class TestTimeQueryHandler:
+    def test_returns_local_time(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=7.0)
+        handler = make_time_query_handler(clock)
+        sim.run_until(3.0)
+        reply = handler({"kind": "time_query"}, "coordinator")
+        assert reply["local_time"] == pytest.approx(10.0)
+
+    def test_rejects_unknown_payload(self):
+        sim = Simulator()
+        handler = make_time_query_handler(DriftingClock(sim))
+        with pytest.raises(ValueError):
+            handler({"kind": "teapot"}, "x")

@@ -1,0 +1,454 @@
+"""Unit tests for the six anomaly checkers, including the paper's own
+worked examples from §IV ("The output of running this test...")."""
+
+import pytest
+
+from repro.core.anomalies import (
+    CONTENT_DIVERGENCE,
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    ORDER_DIVERGENCE,
+    READ_YOUR_WRITES,
+    WRITES_FOLLOW_READS,
+    ContentDivergenceChecker,
+    MonotonicReadsChecker,
+    MonotonicWritesChecker,
+    OrderDivergenceChecker,
+    ReadYourWritesChecker,
+    WritesFollowReadsChecker,
+    check_all,
+    first_inversion,
+    views_content_diverged,
+    views_order_diverged,
+)
+
+from tests.helpers import make_trace, read, write
+
+
+class TestReadYourWrites:
+    def test_read_missing_own_write_is_anomalous(self):
+        # Paper §IV: "Agent 1 writes M1 ... and in a subsequent read
+        # operation M1 is missing."
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("oregon", (), 1.0),
+        ])
+        (obs,) = ReadYourWritesChecker().check(trace)
+        assert obs.anomaly == READ_YOUR_WRITES
+        assert obs.agent == "oregon"
+        assert obs.details["missing"] == ("M1",)
+
+    def test_read_seeing_own_writes_is_clean(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M1", "M2"), 2.0),
+        ])
+        assert ReadYourWritesChecker().check(trace) == []
+
+    def test_only_completed_writes_count(self):
+        # Read invoked before the write's response: not anomalous.
+        trace = make_trace([
+            write("oregon", "M1", 0.0, response=2.0),
+            read("oregon", (), 1.0),
+        ])
+        assert ReadYourWritesChecker().check(trace) == []
+
+    def test_other_agents_reads_are_irrelevant(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("tokyo", (), 5.0),
+        ])
+        assert ReadYourWritesChecker().check(trace) == []
+
+    def test_one_observation_per_bad_read(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("oregon", (), 1.0),
+            read("oregon", (), 2.0),
+            read("oregon", ("M1",), 3.0),
+        ])
+        assert len(ReadYourWritesChecker().check(trace)) == 2
+
+    def test_order_in_read_does_not_matter_for_ryw(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M2", "M1"), 2.0),
+        ])
+        assert ReadYourWritesChecker().check(trace) == []
+
+
+class TestMonotonicWrites:
+    def test_missing_earlier_write_is_anomalous(self):
+        # Paper §IV: "Agent 1 writes M1 and M2, and afterwards that
+        # agent ... observes only the effects of M2".
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M2",), 2.0),
+        ])
+        (obs,) = MonotonicWritesChecker().check(trace)
+        assert obs.anomaly == MONOTONIC_WRITES
+        assert obs.details["missing"] == ("M1",)
+        assert obs.details["writer"] == "oregon"
+
+    def test_reversed_order_is_anomalous(self):
+        # "... or observes the effect of both writes in a different
+        # order."
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M2", "M1"), 2.0),
+        ])
+        (obs,) = MonotonicWritesChecker().check(trace)
+        assert obs.details["reordered"] == (("M1", "M2"),)
+
+    def test_any_agent_can_observe_the_violation(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("tokyo", ("M2", "M1"), 2.0),
+        ])
+        (obs,) = MonotonicWritesChecker().check(trace)
+        assert obs.agent == "tokyo"
+        assert obs.details["writer"] == "oregon"
+
+    def test_prefix_visibility_is_clean(self):
+        # Seeing only the earlier write is fine: the later one imposes
+        # no constraint until it is visible.
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            read("oregon", ("M1",), 2.0),
+        ])
+        assert MonotonicWritesChecker().check(trace) == []
+
+    def test_interleaved_foreign_writes_are_ignored(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.5),
+            write("oregon", "M3", 1.0),
+            read("ireland", ("M2", "M1", "M3"), 2.0),
+        ])
+        assert MonotonicWritesChecker().check(trace) == []
+
+    def test_writes_after_read_invocation_are_ignored(self):
+        # A read invoked before the second write completed cannot
+        # violate the order of that pair.
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("oregon", (), 1.0),
+            write("oregon", "M2", 2.0),
+        ])
+        assert MonotonicWritesChecker().check(trace) == []
+
+    def test_one_observation_per_read_and_writer(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("oregon", "M2", 1.0),
+            write("tokyo", "M3", 0.0),
+            write("tokyo", "M4", 1.0),
+            read("ireland", ("M2", "M4"), 2.0),  # misses M1 and M3
+        ])
+        observations = MonotonicWritesChecker().check(trace)
+        assert len(observations) == 2
+        assert {obs.details["writer"] for obs in observations} == {
+            "oregon", "tokyo",
+        }
+
+
+class TestMonotonicReads:
+    def test_vanishing_message_is_anomalous(self):
+        # Paper §IV: "any agent observes the effect of a message M and
+        # in a subsequent read ... M is no longer observed."
+        trace = make_trace([
+            write("tokyo", "M1", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("oregon", (), 2.0),
+        ])
+        (obs,) = MonotonicReadsChecker().check(trace)
+        assert obs.anomaly == MONOTONIC_READS
+        assert obs.details["missing"] == ("M1",)
+
+    def test_growing_views_are_clean(self):
+        trace = make_trace([
+            write("tokyo", "M1", 0.0),
+            write("tokyo", "M2", 1.0),
+            read("oregon", (), 0.5),
+            read("oregon", ("M1",), 1.5),
+            read("oregon", ("M1", "M2"), 2.5),
+        ])
+        assert MonotonicReadsChecker().check(trace) == []
+
+    def test_never_seen_message_is_not_a_violation(self):
+        # MR differs from MW: the missing write must have been observed
+        # first (the paper calls this "the subtle difference").
+        trace = make_trace([
+            write("tokyo", "M1", 0.0),
+            read("oregon", (), 1.0),
+            read("oregon", (), 2.0),
+        ])
+        assert MonotonicReadsChecker().check(trace) == []
+
+    def test_reappearing_message_counts_once_per_gap(self):
+        trace = make_trace([
+            write("tokyo", "M1", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("oregon", (), 2.0),       # violation
+            read("oregon", ("M1",), 3.0),  # back again: clean
+            read("oregon", (), 4.0),       # violation again
+        ])
+        assert len(MonotonicReadsChecker().check(trace)) == 2
+
+    def test_sessions_are_independent(self):
+        trace = make_trace([
+            write("tokyo", "M1", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("tokyo", (), 2.0),  # tokyo never saw M1: clean
+        ])
+        assert MonotonicReadsChecker().check(trace) == []
+
+
+class TestWritesFollowReads:
+    def test_paper_trigger_example(self):
+        # Paper §IV: a violation occurs when any agent "observes M3
+        # without observing M2".
+        trace = make_trace(
+            [
+                write("oregon", "M2", 0.0),
+                read("tokyo", ("M2",), 1.0),
+                write("tokyo", "M3", 2.0),
+                read("ireland", ("M3",), 3.0),  # M3 without M2
+            ],
+            wfr_triggers={"M3": frozenset({"M2"})},
+        )
+        (obs,) = WritesFollowReadsChecker().check(trace)
+        assert obs.anomaly == WRITES_FOLLOW_READS
+        assert obs.agent == "ireland"
+        assert obs.details["write"] == "M3"
+        assert obs.details["missing_dependencies"] == ("M2",)
+
+    def test_dependency_present_is_clean(self):
+        trace = make_trace(
+            [
+                write("oregon", "M2", 0.0),
+                read("tokyo", ("M2",), 1.0),
+                write("tokyo", "M3", 2.0),
+                read("ireland", ("M2", "M3"), 3.0),
+            ],
+            wfr_triggers={"M3": frozenset({"M2"})},
+        )
+        assert WritesFollowReadsChecker().check(trace) == []
+
+    def test_invisible_dependent_write_is_clean(self):
+        # Not seeing M3 at all imposes no constraint.
+        trace = make_trace(
+            [
+                write("oregon", "M2", 0.0),
+                read("tokyo", ("M2",), 1.0),
+                write("tokyo", "M3", 2.0),
+                read("ireland", (), 3.0),
+            ],
+            wfr_triggers={"M3": frozenset({"M2"})},
+        )
+        assert WritesFollowReadsChecker().check(trace) == []
+
+    def test_generic_mode_derives_dependencies(self):
+        # No trigger map: M3's dependencies come from tokyo's prior read.
+        trace = make_trace([
+            write("oregon", "M2", 0.0),
+            read("tokyo", ("M2",), 1.0),
+            write("tokyo", "M3", 2.0),
+            read("ireland", ("M3",), 3.0),
+        ])
+        (obs,) = WritesFollowReadsChecker().check(trace)
+        assert obs.details["missing_dependencies"] == ("M2",)
+
+    def test_own_reader_can_also_violate(self):
+        # Even the author's own later read may expose the anomaly.
+        trace = make_trace(
+            [
+                write("oregon", "M2", 0.0),
+                read("tokyo", ("M2",), 1.0),
+                write("tokyo", "M3", 2.0),
+                read("tokyo", ("M3",), 3.0),
+            ],
+            wfr_triggers={"M3": frozenset({"M2"})},
+        )
+        (obs,) = WritesFollowReadsChecker().check(trace)
+        assert obs.agent == "tokyo"
+
+    def test_no_dependent_writes_short_circuits(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("tokyo", ("M1",), 1.0),
+        ])
+        assert WritesFollowReadsChecker().check(trace) == []
+
+
+class TestContentDivergence:
+    def test_cross_missing_writes_are_divergent(self):
+        # Paper §IV: "an Agent observes a sequence ... containing only
+        # M1 and another Agent sees only M2."
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("tokyo", ("M2",), 1.0),
+        ])
+        (obs,) = ContentDivergenceChecker().check(trace)
+        assert obs.anomaly == CONTENT_DIVERGENCE
+        assert obs.pair == ("oregon", "tokyo")
+        assert obs.details["example"]["left_only"] == ("M1",)
+        assert obs.details["example"]["right_only"] == ("M2",)
+
+    def test_subset_views_are_not_divergent(self):
+        # One-directional staleness is not content divergence.
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.5),
+            read("oregon", ("M1", "M2"), 1.0),
+            read("tokyo", ("M1",), 1.0),
+        ])
+        assert ContentDivergenceChecker().check(trace) == []
+
+    def test_one_observation_per_pair_with_count(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("oregon", ("M1",), 2.0),
+            read("tokyo", ("M2",), 1.0),
+            read("tokyo", ("M2",), 2.0),
+        ])
+        (obs,) = ContentDivergenceChecker().check(trace)
+        assert obs.details["divergent_read_pairs"] == 4
+
+    def test_all_pairs_are_checked(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            write("ireland", "M3", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("tokyo", ("M2",), 1.0),
+            read("ireland", ("M3",), 1.0),
+        ])
+        observations = ContentDivergenceChecker().check(trace)
+        assert {obs.pair for obs in observations} == {
+            ("oregon", "tokyo"),
+            ("ireland", "oregon"),
+            ("ireland", "tokyo"),
+        }
+
+    def test_paper_zero_window_case_still_detects_divergence(self):
+        # The §IV example: views never coexist, yet the anomaly holds.
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M1",), 1.0),            # t1
+            read("oregon", ("M1", "M2"), 2.0),        # t2
+            read("tokyo", ("M2",), 3.0),              # t3
+            read("tokyo", ("M1", "M2"), 4.0),         # t4
+        ])
+        observations = ContentDivergenceChecker().check(trace)
+        assert len(observations) == 1
+
+    def test_predicate_helper(self):
+        assert views_content_diverged(("M1",), ("M2",))
+        assert not views_content_diverged(("M1",), ("M1", "M2"))
+        assert not views_content_diverged((), ("M1",))
+
+
+class TestOrderDivergence:
+    def test_inverted_pair_is_divergent(self):
+        # Paper §IV: "an Agent sees the sequence (M2,M1) and another
+        # Agent sees the sequence (M1,M2)."
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M2", "M1"), 1.0),
+            read("tokyo", ("M1", "M2"), 1.0),
+        ])
+        (obs,) = OrderDivergenceChecker().check(trace)
+        assert obs.anomaly == ORDER_DIVERGENCE
+        assert obs.pair == ("oregon", "tokyo")
+        assert set(obs.details["example"]["inverted"]) == {"M1", "M2"}
+
+    def test_same_order_with_gaps_is_clean(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.2),
+            write("ireland", "M3", 0.4),
+            read("oregon", ("M1", "M3"), 1.0),
+            read("tokyo", ("M1", "M2", "M3"), 1.0),
+        ])
+        assert OrderDivergenceChecker().check(trace) == []
+
+    def test_disjoint_views_are_clean(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            read("oregon", ("M1",), 1.0),
+            read("tokyo", ("M2",), 1.0),
+        ])
+        assert OrderDivergenceChecker().check(trace) == []
+
+    def test_single_common_message_is_clean(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            write("tokyo", "M2", 0.0),
+            write("ireland", "M3", 0.0),
+            read("oregon", ("M1", "M2"), 1.0),
+            read("tokyo", ("M2", "M3"), 1.0),
+        ])
+        assert OrderDivergenceChecker().check(trace) == []
+
+    def test_first_inversion_helper(self):
+        assert first_inversion(("A", "B"), ("B", "A")) == ("A", "B")
+        assert first_inversion(("A", "B"), ("A", "B")) is None
+        assert first_inversion(("A", "X", "B"), ("B", "A")) == ("A", "B")
+        assert first_inversion((), ()) is None
+
+    def test_views_order_diverged_helper(self):
+        assert views_order_diverged(("A", "B", "C"), ("C", "A"))
+        assert not views_order_diverged(("A", "B", "C"), ("A", "C"))
+
+
+class TestCheckAll:
+    def test_clean_strongly_consistent_trace_has_no_anomalies(self):
+        # Views grow along a single total order: every checker is quiet.
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("oregon", ("M1",), 0.5),
+            write("tokyo", "M2", 1.0),
+            read("tokyo", ("M1", "M2"), 1.5),
+            read("oregon", ("M1", "M2"), 2.0),
+            read("ireland", ("M1", "M2"), 2.0),
+        ])
+        report = check_all(trace)
+        assert all(count == 0 for count in report.summary().values())
+
+    def test_report_accessors(self):
+        trace = make_trace([
+            write("oregon", "M1", 0.0),
+            read("oregon", (), 1.0),        # RYW violation
+            write("tokyo", "M2", 0.0),
+            read("tokyo", ("M2",), 1.0),
+            read("oregon", ("M1",), 2.0),
+        ])
+        report = check_all(trace)
+        assert report.has(READ_YOUR_WRITES)
+        assert report.count(READ_YOUR_WRITES) == 1
+        assert report.count_by_agent(READ_YOUR_WRITES)["oregon"] == 1
+        assert report.agents_observing(READ_YOUR_WRITES) == {"oregon"}
+        assert report.has(CONTENT_DIVERGENCE)
+        assert report.diverged_pairs(CONTENT_DIVERGENCE) == {
+            ("oregon", "tokyo"),
+        }
+
+    def test_diverged_pairs_rejects_session_anomaly(self):
+        trace = make_trace([])
+        report = check_all(trace)
+        with pytest.raises(ValueError):
+            report.diverged_pairs(READ_YOUR_WRITES)

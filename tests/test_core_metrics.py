@@ -1,0 +1,114 @@
+"""Unit + property tests for CDFs and occurrence buckets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    DEFAULT_BUCKETS,
+    EmpiricalCDF,
+    OccurrenceBuckets,
+    percentile,
+    summarize,
+)
+from repro.errors import AnalysisError
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_duplicate_samples(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 1.0, 2.0])
+        assert cdf(1.0) == pytest.approx(2 / 3)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            EmpiricalCDF.from_samples([])
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF.from_samples([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == 10.0
+        assert cdf.quantile(0.5) == 20.0
+        assert cdf.quantile(1.0) == 40.0
+        assert cdf.median == 20.0
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(AnalysisError):
+            cdf.quantile(0.0)
+        with pytest.raises(AnalysisError):
+            cdf.quantile(1.5)
+
+    def test_series_is_plot_ready(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 1.0, 3.0])
+        assert cdf.series() == [(1.0, pytest.approx(2 / 3)),
+                                (3.0, pytest.approx(1.0))]
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_cdf_is_monotone_property(self, samples):
+        cdf = EmpiricalCDF.from_samples(samples)
+        points = [cdf(x) for x, _ in cdf.series()]
+        assert points == sorted(points)
+        assert cdf.series()[-1][1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50),
+           st.floats(0.01, 1.0))
+    def test_quantile_inverts_cdf_property(self, samples, q):
+        cdf = EmpiricalCDF.from_samples(samples)
+        assert cdf(cdf.quantile(q)) >= q - 1e-9
+
+
+class TestOccurrenceBuckets:
+    def test_default_labels_match_paper_figures(self):
+        assert DEFAULT_BUCKETS.labels == ("1", "2", "3-10", ">10")
+
+    def test_bucket_of(self):
+        assert DEFAULT_BUCKETS.bucket_of(1) == "1"
+        assert DEFAULT_BUCKETS.bucket_of(2) == "2"
+        assert DEFAULT_BUCKETS.bucket_of(3) == "3-10"
+        assert DEFAULT_BUCKETS.bucket_of(10) == "3-10"
+        assert DEFAULT_BUCKETS.bucket_of(11) == ">10"
+        assert DEFAULT_BUCKETS.bucket_of(10_000) == ">10"
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(AnalysisError):
+            DEFAULT_BUCKETS.bucket_of(0)
+
+    def test_histogram(self):
+        histogram = DEFAULT_BUCKETS.histogram([1, 1, 2, 5, 11])
+        assert histogram == {"1": 2, "2": 1, "3-10": 1, ">10": 1}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            OccurrenceBuckets(bounds=())
+        with pytest.raises(AnalysisError):
+            OccurrenceBuckets(bounds=(2, 2))
+        with pytest.raises(AnalysisError):
+            OccurrenceBuckets(bounds=(0,))
+
+    @given(st.integers(1, 10_000))
+    def test_every_count_lands_in_exactly_one_bucket(self, count):
+        label = DEFAULT_BUCKETS.bucket_of(count)
+        assert label in DEFAULT_BUCKETS.labels
+
+
+class TestSummaries:
+    def test_percentile_helper(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4.0
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])

@@ -1,0 +1,110 @@
+"""Reproduce the paper's Facebook Group detective work (§V).
+
+The paper's authors noticed reordered same-author writes in Facebook
+Group, pulled the events' creation timestamps from the API, and found
+that (a) timestamps have one-second precision and (b) two writes with
+the same timestamp are *always* observed in reverse order, consistently
+by all agents — concluding a deterministic tie-break.  These tests run
+the same investigation against the model through the same black-box
+API and reach the same conclusions.
+"""
+
+import pytest
+
+from repro.services import FacebookGroupService
+from repro.webapi import ApiClient
+
+from tests.test_services import await_value, make_world
+
+
+def make_group_session(seed=2):
+    sim, topo, net, rng = make_world(seed=seed)
+    service = FacebookGroupService(sim, topo, net, rng)
+    session = service.create_session("oregon", "agent-oregon")
+    tokyo = service.create_session("tokyo", "agent-tokyo")
+    return sim, session, tokyo
+
+
+def fetch_entries(sim, session):
+    """Fetch the feed with the created_time field, as the paper did."""
+    response = await_value(
+        sim,
+        session._client.get("/group/shared/feed",
+                            {"fields": "created_time"}),
+    )
+    assert response.status == 200
+    return response.body["entries"]
+
+
+class TestCreatedTimeField:
+    def test_timestamps_have_one_second_precision(self):
+        sim, session, _ = make_group_session()
+        await_value(sim, session.post_message("M1"))
+        entries = fetch_entries(sim, session)
+        (entry,) = entries
+        assert entry["id"] == "M1"
+        assert isinstance(entry["created_time"], int)
+
+    def test_field_absent_without_request(self):
+        sim, session, _ = make_group_session()
+        await_value(sim, session.post_message("M1"))
+        response = await_value(
+            sim, session._client.get("/group/shared/feed")
+        )
+        assert "entries" not in response.body
+
+
+class TestSameSecondInference:
+    def post_pair_within_second(self, seed=2):
+        """Post two messages; retry seeds until both share a second."""
+        for attempt in range(20):
+            sim, session, tokyo = make_group_session(seed=seed + attempt)
+            # Align to just past a second boundary so both writes land
+            # inside one wall-clock second.
+            sim.run_until(int(sim.now) + 1.02)
+            await_value(sim, session.post_message("A"))
+            await_value(sim, session.post_message("B"))
+            sim.run_until(sim.now + 5.0)
+            entries = fetch_entries(sim, session)
+            times = {e["id"]: e["created_time"] for e in entries}
+            if times["A"] == times["B"]:
+                return sim, session, tokyo, entries
+        pytest.fail("could not produce a same-second pair")
+
+    def test_same_second_writes_always_observed_reversed(self):
+        sim, session, tokyo, entries = self.post_pair_within_second()
+        # Newest-first feed: the reversed tie-break puts B (the later
+        # write) *behind* A — i.e. chronological order looks like
+        # (B, A), which the newest-first listing shows as (A, B)...
+        # assert via the session's chronological view instead:
+        view = await_value(sim, session.fetch_messages())
+        assert view == ("B", "A"), (
+            "same-second writes must appear in reverse order"
+        )
+
+    def test_reversal_is_consistent_across_agents(self):
+        sim, session, tokyo, entries = self.post_pair_within_second()
+        own = await_value(sim, session.fetch_messages())
+        remote = await_value(sim, tokyo.fetch_messages())
+        assert own == remote == ("B", "A")
+
+    def test_cross_second_writes_keep_order(self):
+        sim, session, tokyo = make_group_session(seed=77)
+        sim.run_until(int(sim.now) + 1.6)  # near the end of a second
+        await_value(sim, session.post_message("A"))
+        sim.run_until(sim.now + 1.0)       # cross the boundary
+        await_value(sim, session.post_message("B"))
+        sim.run_until(sim.now + 5.0)
+        entries = fetch_entries(sim, session)
+        times = {e["id"]: e["created_time"] for e in entries}
+        assert times["A"] != times["B"]
+        view = await_value(sim, session.fetch_messages())
+        assert view == ("A", "B")
+
+    def test_reversal_predicted_by_equal_timestamps(self):
+        """The paper's final inference: equal created_time <=> reversed."""
+        sim, session, tokyo, entries = self.post_pair_within_second()
+        times = {e["id"]: e["created_time"] for e in entries}
+        view = await_value(sim, session.fetch_messages())
+        reversed_pair = view.index("B") < view.index("A")
+        assert (times["A"] == times["B"]) == reversed_pair

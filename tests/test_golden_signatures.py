@@ -1,0 +1,88 @@
+"""Golden-signature regression test: the paper's story, in one place.
+
+The benchmark suite asserts every figure at scale; this lighter test
+lives in the main suite so an ordinary ``pytest tests/`` run still
+catches any change that breaks the headline result — with bounds loose
+enough for the small campaign size.
+"""
+
+import pytest
+
+from repro.core import (
+    CONTENT_DIVERGENCE,
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    ORDER_DIVERGENCE,
+    READ_YOUR_WRITES,
+    WRITES_FOLLOW_READS,
+)
+from repro.methodology import CampaignConfig, run_campaign
+from repro.services import SERVICE_NAMES
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return {
+        service: run_campaign(service, CampaignConfig(
+            num_tests=30, seed=12,
+        ))
+        for service in SERVICE_NAMES
+    }
+
+
+def prevalence(campaigns, service, anomaly):
+    test_type = ("test2" if "divergence" in anomaly else "test1")
+    return campaigns[service].prevalence(anomaly, test_type)
+
+
+class TestGoldenSignatures:
+    def test_blogger_is_anomaly_free(self, campaigns):
+        assert all(value == 0.0
+                   for value in campaigns["blogger"].summary().values())
+
+    def test_facebook_feed_violates_everything(self, campaigns):
+        assert prevalence(campaigns, "facebook_feed",
+                          READ_YOUR_WRITES) >= 0.9
+        assert prevalence(campaigns, "facebook_feed",
+                          ORDER_DIVERGENCE) >= 0.9
+        assert prevalence(campaigns, "facebook_feed",
+                          MONOTONIC_WRITES) >= 0.5
+        assert prevalence(campaigns, "facebook_feed",
+                          MONOTONIC_READS) > 0.0
+
+    def test_facebook_group_signature(self, campaigns):
+        assert prevalence(campaigns, "facebook_group",
+                          READ_YOUR_WRITES) <= 0.05
+        assert prevalence(campaigns, "facebook_group",
+                          ORDER_DIVERGENCE) == 0.0
+        assert prevalence(campaigns, "facebook_group",
+                          MONOTONIC_WRITES) >= 0.7
+
+    def test_googleplus_signature(self, campaigns):
+        ryw = prevalence(campaigns, "googleplus", READ_YOUR_WRITES)
+        mw = prevalence(campaigns, "googleplus", MONOTONIC_WRITES)
+        assert 0.03 <= ryw <= 0.6
+        assert mw <= 0.3
+        assert mw < prevalence(campaigns, "facebook_group",
+                               MONOTONIC_WRITES)
+        assert prevalence(campaigns, "googleplus",
+                          CONTENT_DIVERGENCE) >= 0.7
+
+    def test_wfr_ordering(self, campaigns):
+        # FB Feed is the most WFR-prone service; FB Group essentially
+        # never shows it.
+        assert (prevalence(campaigns, "facebook_feed",
+                           WRITES_FOLLOW_READS)
+                >= prevalence(campaigns, "facebook_group",
+                              WRITES_FOLLOW_READS))
+
+    def test_same_datacenter_inference(self, campaigns):
+        # Google+ Oregon-Tokyo divergence far below the Ireland pairs.
+        from repro.analysis import pair_divergence
+
+        counts = pair_divergence(campaigns["googleplus"]).counts
+        ot = counts.get(("oregon", "tokyo"), 0)
+        oi = counts.get(("ireland", "oregon"), 0)
+        ti = counts.get(("ireland", "tokyo"), 0)
+        assert oi >= 20 and ti >= 20  # near-ubiquitous at 30 tests
+        assert ot <= min(oi, ti) / 3

@@ -1,0 +1,90 @@
+"""Tests for campaign persistence (JSON save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    pair_divergence,
+    prevalence_rows,
+    window_cdfs,
+)
+from repro.errors import AnalysisError
+from repro.io import SCHEMA_VERSION, load_campaign, save_campaign
+from repro.methodology import CampaignConfig, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("googleplus",
+                        CampaignConfig(num_tests=8, seed=19))
+
+
+class TestRoundTrip:
+    def test_summary_survives_round_trip(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        loaded = load_campaign(path)
+        assert loaded.service == campaign.service
+        assert loaded.total_tests == campaign.total_tests
+        assert loaded.total_reads == campaign.total_reads
+        assert loaded.total_writes == campaign.total_writes
+        assert loaded.summary() == campaign.summary()
+
+    def test_figures_identical_after_reload(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        loaded = load_campaign(path)
+        original_rows = [(row.anomaly, row.tests_with_anomaly)
+                         for row in prevalence_rows(campaign)]
+        loaded_rows = [(row.anomaly, row.tests_with_anomaly)
+                       for row in prevalence_rows(loaded)]
+        assert original_rows == loaded_rows
+        assert (pair_divergence(loaded).counts
+                == pair_divergence(campaign).counts)
+        original_cdf = window_cdfs(campaign, kind="content")
+        loaded_cdf = window_cdfs(loaded, kind="content")
+        assert loaded_cdf.samples == original_cdf.samples
+        assert loaded_cdf.unconverged == original_cdf.unconverged
+
+    def test_observation_details_restored_with_tuples(self, campaign,
+                                                      tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        loaded = load_campaign(path)
+        for record in loaded.records:
+            for observations in record.report.observations.values():
+                for obs in observations:
+                    for value in obs.details.values():
+                        assert not isinstance(value, list), (
+                            "details must round-trip to tuples"
+                        )
+
+    def test_config_restored(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        loaded = load_campaign(path)
+        assert loaded.config.num_tests == 8
+        assert loaded.config.seed == 19
+        assert loaded.config.test_types == ("test1", "test2")
+
+    def test_traces_are_not_persisted(self, tmp_path):
+        with_traces = run_campaign("blogger", CampaignConfig(
+            num_tests=1, seed=1, keep_traces=True,
+        ))
+        path = save_campaign(with_traces, tmp_path / "c.json")
+        loaded = load_campaign(path)
+        assert all(record.trace is None for record in loaded.records)
+
+
+class TestFormat:
+    def test_document_is_valid_versioned_json(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["service"] == "googleplus"
+        assert len(document["records"]) == campaign.total_tests
+
+    def test_unknown_schema_version_rejected(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "campaign.json")
+        document = json.loads(path.read_text())
+        document["schema_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(AnalysisError, match="schema version"):
+            load_campaign(path)

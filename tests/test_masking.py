@@ -1,0 +1,204 @@
+"""Tests for the client-side session-guarantee masking layer.
+
+The masking invariant is checked both with hand-crafted scenarios and
+property-based tests: whatever raw views the service returns, the
+masked stream must satisfy read-your-writes, monotonic writes, and
+monotonic reads relative to the client's own history (and
+writes-follow-reads given a dependency registry).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.masking import DependencyRegistry, SessionGuaranteeClient
+from repro.sim import Future
+
+
+class FakeSession:
+    """A scriptable stand-in for a ServiceSession."""
+
+    def __init__(self, views=None):
+        self.views = list(views or [])
+        self.posted = []
+
+    def post_message(self, message_id):
+        self.posted.append(message_id)
+        future = Future()
+        future.resolve({"id": message_id})
+        return future
+
+    def fetch_messages(self):
+        future = Future()
+        view = self.views.pop(0) if self.views else ()
+        future.resolve(tuple(view))
+        return future
+
+
+def masked_client(views, registry=None):
+    return SessionGuaranteeClient(FakeSession(views), registry=registry)
+
+
+def fetch(client):
+    result = client.fetch_messages()
+    assert result.done
+    return result.value
+
+
+def post(client, message_id):
+    result = client.post_message(message_id)
+    assert result.done
+    return result.value
+
+
+class TestReadYourWrites:
+    def test_missing_own_write_is_replayed(self):
+        client = masked_client(views=[()])
+        post(client, "M1")
+        assert fetch(client) == ("M1",)
+
+    def test_present_own_write_is_untouched(self):
+        client = masked_client(views=[("M1",)])
+        post(client, "M1")
+        assert fetch(client) == ("M1",)
+
+    def test_replayed_writes_keep_session_order(self):
+        client = masked_client(views=[("X",)])
+        post(client, "M1")
+        post(client, "M2")
+        assert fetch(client) == ("X", "M1", "M2")
+
+
+class TestMonotonicWrites:
+    def test_swapped_own_writes_are_reordered(self):
+        client = masked_client(views=[("M2", "M1")])
+        post(client, "M1")
+        post(client, "M2")
+        assert fetch(client) == ("M1", "M2")
+
+    def test_other_messages_keep_their_slots(self):
+        client = masked_client(views=[("M2", "X", "M1", "Y")])
+        post(client, "M1")
+        post(client, "M2")
+        assert fetch(client) == ("M1", "X", "M2", "Y")
+
+    def test_partial_visibility_replays_missing_earlier_write(self):
+        client = masked_client(views=[("M2",)])
+        post(client, "M1")
+        post(client, "M2")
+        view = fetch(client)
+        assert view.index("M1") < view.index("M2")
+
+
+class TestMonotonicReads:
+    def test_vanished_message_is_replayed(self):
+        client = masked_client(views=[("A", "B"), ("B",)])
+        assert fetch(client) == ("A", "B")
+        assert fetch(client) == ("A", "B")
+
+    def test_vanished_message_keeps_neighbourhood(self):
+        client = masked_client(views=[("A", "B", "C"), ("A", "C")])
+        fetch(client)
+        assert fetch(client) == ("A", "B", "C")
+
+    def test_new_messages_still_appear(self):
+        client = masked_client(views=[("A",), ("A", "B")])
+        fetch(client)
+        assert fetch(client) == ("A", "B")
+
+    def test_vanishing_prefix_is_restored_at_front(self):
+        client = masked_client(views=[("A", "B"), ("B",)])
+        fetch(client)
+        view = fetch(client)
+        assert view.index("A") < view.index("B")
+
+
+class TestWritesFollowReads:
+    def test_unknown_dependency_withholds_message(self):
+        registry = DependencyRegistry()
+        registry.record("R", {"Q"})
+        client = masked_client(views=[("R",)], registry=registry)
+        assert fetch(client) == ()  # R delayed until Q is visible
+
+    def test_known_dependency_is_replayed(self):
+        registry = DependencyRegistry()
+        registry.record("R", {"Q"})
+        client = masked_client(views=[("Q",), ("R",)],
+                               registry=registry)
+        assert fetch(client) == ("Q",)
+        view = fetch(client)
+        assert view.index("Q") < view.index("R")
+
+    def test_dependency_present_passes_through(self):
+        registry = DependencyRegistry()
+        registry.record("R", {"Q"})
+        client = masked_client(views=[("Q", "R")], registry=registry)
+        assert fetch(client) == ("Q", "R")
+
+    def test_own_writes_register_dependencies(self):
+        registry = DependencyRegistry()
+        client = masked_client(views=[("A",)], registry=registry)
+        fetch(client)
+        post(client, "M1")
+        assert registry.dependencies("M1") == frozenset({"A"})
+
+    def test_no_registry_disables_wfr_masking(self):
+        client = masked_client(views=[("R",)])
+        assert fetch(client) == ("R",)
+
+
+class TestIntrospection:
+    def test_session_writes_and_last_view(self):
+        client = masked_client(views=[("M1",)])
+        post(client, "M1")
+        fetch(client)
+        assert client.session_writes == ("M1",)
+        assert client.last_view == ("M1",)
+
+
+# -- Property-based masking invariants --------------------------------------
+
+message_ids = st.sampled_from(["A", "B", "C", "D", "E", "F"])
+raw_views = st.lists(
+    st.lists(message_ids, max_size=6, unique=True).map(tuple),
+    min_size=1, max_size=6,
+)
+own_write_plans = st.lists(st.sampled_from(["W1", "W2", "W3"]),
+                           max_size=3, unique=True)
+
+
+@settings(max_examples=150, deadline=None)
+@given(views=raw_views, own=own_write_plans)
+def test_masked_stream_never_violates_session_guarantees(views, own):
+    client = masked_client(views=list(views))
+    for message_id in own:
+        post(client, message_id)
+    previous: set[str] = set()
+    for _ in range(len(views)):
+        view = fetch(client)
+        # Read your writes: all own writes present.
+        assert set(own).issubset(view)
+        # Monotonic writes: own writes in session order.
+        positions = [view.index(mid) for mid in own]
+        assert positions == sorted(positions)
+        # Monotonic reads: nothing previously seen vanishes.
+        assert previous.issubset(view)
+        previous.update(view)
+        # No duplicates introduced by the replay machinery.
+        assert len(set(view)) == len(view)
+
+
+@settings(max_examples=100, deadline=None)
+@given(views=raw_views)
+def test_masked_stream_respects_dependencies(views):
+    registry = DependencyRegistry()
+    registry.record("B", {"A"})
+    registry.record("D", {"C"})
+    client = masked_client(views=list(views), registry=registry)
+    for _ in range(len(views)):
+        view = fetch(client)
+        if "B" in view:
+            assert "A" in view
+            assert view.index("A") < view.index("B")
+        if "D" in view:
+            assert "C" in view
+            assert view.index("C") < view.index("D")

@@ -1,0 +1,64 @@
+"""Coverage for small cross-cutting pieces: errors, top-level API."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    InvalidRequestError,
+    NetworkError,
+    RateLimitExceededError,
+    ReproError,
+    ServiceError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_class in (SimulationError, NetworkError, ServiceError,
+                          ConfigurationError):
+            assert issubclass(exc_class, ReproError)
+
+    def test_service_errors_carry_http_status(self):
+        assert ServiceError.status_code == 500
+        assert AuthenticationError.status_code == 401
+        assert InvalidRequestError.status_code == 400
+        assert RateLimitExceededError.status_code == 429
+
+    def test_rate_limit_retry_after(self):
+        exc = RateLimitExceededError(retry_after=2.5)
+        assert exc.retry_after == 2.5
+        assert RateLimitExceededError().retry_after is None
+
+    def test_catching_the_base_class_works(self):
+        with pytest.raises(ReproError):
+            raise RateLimitExceededError("slow down")
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports_resolve(self):
+        assert callable(repro.run_campaign)
+        assert callable(repro.check_all)
+        assert callable(repro.prevalence_table)
+        assert callable(repro.full_report)
+        assert callable(repro.save_campaign)
+        assert callable(repro.load_campaign)
+        assert repro.CampaignConfig is not None
+        assert repro.MeasurementWorld is not None
+        assert "blogger" in repro.SERVICE_NAMES
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_one_liner_workflow(self):
+        result = repro.run_campaign(
+            "blogger", repro.CampaignConfig(num_tests=1, seed=1)
+        )
+        table = repro.prevalence_table({"blogger": result})
+        assert "blogger" in table

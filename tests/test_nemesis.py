@@ -1,0 +1,150 @@
+"""Tests for nemesis fault scheduling in campaigns."""
+
+import pytest
+
+from repro.core import CONTENT_DIVERGENCE
+from repro.errors import ConfigurationError
+from repro.methodology import (
+    CampaignConfig,
+    CompositeNemesis,
+    LinkLossNemesis,
+    MeasurementWorld,
+    PartitionStretchNemesis,
+    PeriodicPartitionNemesis,
+    run_campaign,
+)
+
+
+class RecordingNemesis:
+    """Test double that records every hook invocation."""
+
+    def __init__(self):
+        self.calls = []
+
+    def before_test(self, world, test_type, index, num_tests,
+                    duration_hint):
+        self.calls.append((test_type, index, num_tests, duration_hint))
+
+
+class TestRunnerIntegration:
+    def test_custom_nemesis_invoked_once_per_test(self):
+        nemesis = RecordingNemesis()
+        run_campaign("blogger", CampaignConfig(
+            num_tests=3, seed=1, nemesis=nemesis,
+        ))
+        assert len(nemesis.calls) == 6
+        assert [(t, i) for t, i, _n, _d in nemesis.calls] == [
+            ("test1", 0), ("test1", 1), ("test1", 2),
+            ("test2", 0), ("test2", 1), ("test2", 2),
+        ]
+        assert all(n == 3 for _t, _i, n, _d in nemesis.calls)
+        assert all(d > 0 for _t, _i, _n, d in nemesis.calls)
+
+    def test_default_group_nemesis_still_causes_divergence(self):
+        result = run_campaign("facebook_group", CampaignConfig(
+            num_tests=6, seed=3, test_types=("test2",),
+            group_partition_tests=3,
+        ))
+        assert result.prevalence(CONTENT_DIVERGENCE) > 0
+
+    def test_explicit_nemesis_overrides_default(self):
+        nemesis = RecordingNemesis()
+        run_campaign("facebook_group", CampaignConfig(
+            num_tests=2, seed=3, test_types=("test2",),
+            nemesis=nemesis,
+        ))
+        assert len(nemesis.calls) == 2
+
+
+class TestBuiltInNemeses:
+    def make_world(self):
+        return MeasurementWorld("blogger", seed=5)
+
+    def test_partition_stretch_windows(self):
+        world = self.make_world()
+        nemesis = PartitionStretchNemesis(
+            host_a="agent-oregon", host_b="agent-tokyo",
+            span=2, start_index=1, test_type="test1",
+        )
+        for index in range(4):
+            nemesis.before_test(world, "test1", index, 4, 10.0)
+        # Tests 1 and 2 get windows; 0 and 3 do not.
+        assert len(world.faults.windows()) == 2
+        nemesis.before_test(world, "test2", 1, 4, 10.0)
+        assert len(world.faults.windows()) == 2  # wrong test type
+
+    def test_partition_stretch_centres_by_default(self):
+        world = self.make_world()
+        nemesis = PartitionStretchNemesis(
+            host_a="a", host_b="b", span=2, test_type="test1",
+        )
+        armed = []
+        for index in range(10):
+            before = len(world.faults.windows())
+            nemesis.before_test(world, "test1", index, 10, 10.0)
+            if len(world.faults.windows()) > before:
+                armed.append(index)
+        assert armed == [4, 5]
+
+    def test_partition_stretch_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionStretchNemesis(host_a="a", host_b="b", span=-1)
+
+    def test_periodic_partition(self):
+        world = self.make_world()
+        nemesis = PeriodicPartitionNemesis(
+            host_a="a", host_b="b", period=3,
+        )
+        armed = []
+        for index in range(9):
+            before = len(world.faults.windows())
+            nemesis.before_test(world, "test1", index, 9, 10.0)
+            if len(world.faults.windows()) > before:
+                armed.append(index)
+        assert armed == [2, 5, 8]
+
+    def test_periodic_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicPartitionNemesis(host_a="a", host_b="b", period=0)
+
+    def test_link_loss_arms_once(self):
+        world = self.make_world()
+        nemesis = LinkLossNemesis(
+            links=[("agent-oregon", "blogger-api")], probability=1.0,
+        )
+        nemesis.before_test(world, "test1", 0, 5, 10.0)
+        nemesis.before_test(world, "test1", 1, 5, 10.0)
+        assert world.faults.should_drop("agent-oregon", "blogger-api",
+                                        world.sim.now)
+
+    def test_link_loss_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkLossNemesis(links=[], probability=1.5)
+
+    def test_composite_runs_all_parts(self):
+        world = self.make_world()
+        parts = [RecordingNemesis(), RecordingNemesis()]
+        composite = CompositeNemesis(parts=parts)
+        composite.before_test(world, "test1", 0, 1, 10.0)
+        assert all(len(part.calls) == 1 for part in parts)
+
+
+class TestNemesisCampaignEffect:
+    def test_periodic_partition_disrupts_blogger(self):
+        # Partition the primary from a backup during every other
+        # test: writes cannot complete (sync replication blocks), so
+        # those tests time out with fewer writes.
+        nemesis = PeriodicPartitionNemesis(
+            host_a="blogger-primary", host_b="blogger-backup-us",
+            period=2, test_type="test1",
+        )
+        result = run_campaign("blogger", CampaignConfig(
+            num_tests=4, seed=7, test_types=("test1",),
+            nemesis=nemesis,
+        ))
+        writes = [sum(record.writes_per_agent.values())
+                  for record in result.records]
+        # Non-partitioned tests log all 6 writes; partitioned ones
+        # fewer (the chain stalls on unacknowledged writes).
+        assert writes[0] == 6 and writes[2] == 6
+        assert writes[1] < 6 and writes[3] < 6

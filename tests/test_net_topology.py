@@ -1,0 +1,205 @@
+"""Unit tests for topology, latency models, and fault injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    IRELAND,
+    OREGON,
+    TOKYO,
+    VIRGINIA,
+    FaultInjector,
+    JitterParams,
+    LatencyModel,
+    PartitionWindow,
+    Region,
+    Topology,
+    paper_topology,
+)
+from repro.sim import RandomSource
+
+
+class TestTopology:
+    def make_two_region_topology(self):
+        topo = Topology()
+        topo.add_region(Region("east"))
+        topo.add_region(Region("west"))
+        topo.set_rtt("east", "west", 0.1)
+        topo.place_host("a", "east")
+        topo.place_host("b", "west")
+        topo.place_host("c", "east")
+        return topo
+
+    def test_rtt_between_regions(self):
+        topo = self.make_two_region_topology()
+        assert topo.rtt("a", "b") == pytest.approx(0.1)
+        assert topo.rtt("b", "a") == pytest.approx(0.1)  # symmetric
+
+    def test_intra_region_rtt(self):
+        topo = self.make_two_region_topology()
+        assert topo.rtt("a", "c") == pytest.approx(topo.intra_region_rtt)
+
+    def test_one_way_is_half_rtt(self):
+        topo = self.make_two_region_topology()
+        assert topo.one_way("a", "b") == pytest.approx(0.05)
+
+    def test_unknown_host_raises(self):
+        topo = self.make_two_region_topology()
+        with pytest.raises(ConfigurationError, match="ghost"):
+            topo.rtt("a", "ghost")
+
+    def test_missing_link_raises(self):
+        topo = Topology()
+        topo.add_region(Region("r1"))
+        topo.add_region(Region("r2"))
+        topo.place_host("a", "r1")
+        topo.place_host("b", "r2")
+        with pytest.raises(ConfigurationError, match="no RTT"):
+            topo.rtt("a", "b")
+
+    def test_place_in_unknown_region_raises(self):
+        topo = Topology()
+        with pytest.raises(ConfigurationError):
+            topo.place_host("a", "nowhere")
+
+    def test_set_rtt_validation(self):
+        topo = Topology()
+        topo.add_region(Region("r"))
+        topo.add_region(Region("s"))
+        with pytest.raises(ConfigurationError):
+            topo.set_rtt("r", "s", 0.0)
+        with pytest.raises(ConfigurationError):
+            topo.set_rtt("r", "r", 0.1)
+
+    def test_conflicting_region_definition_raises(self):
+        topo = Topology()
+        topo.add_region(Region("r", "here"))
+        topo.add_region(Region("r", "here"))  # identical: fine
+        with pytest.raises(ConfigurationError):
+            topo.add_region(Region("r", "elsewhere"))
+
+    def test_region_of(self):
+        topo = self.make_two_region_topology()
+        assert topo.region_of("a").name == "east"
+        with pytest.raises(ConfigurationError):
+            topo.region_of("ghost")
+
+
+class TestPaperTopology:
+    def test_has_paper_measured_coordinator_rtts(self):
+        topo = paper_topology()
+        for region, rtt in ((OREGON, 0.136), (TOKYO, 0.218),
+                            (IRELAND, 0.172)):
+            topo.place_host("coord", VIRGINIA)
+            topo.place_host("agent", region)
+            assert topo.rtt("coord", "agent") == pytest.approx(rtt)
+
+    def test_all_agent_pairs_connected(self):
+        topo = paper_topology()
+        topo.place_host("o", OREGON)
+        topo.place_host("t", TOKYO)
+        topo.place_host("i", IRELAND)
+        assert topo.rtt("o", "t") > 0
+        assert topo.rtt("o", "i") > 0
+        assert topo.rtt("t", "i") > 0
+
+
+class TestLatencyModel:
+    def make_model(self, sigma=0.15):
+        topo = paper_topology()
+        topo.place_host("coord", VIRGINIA)
+        topo.place_host("agent", OREGON)
+        rng = RandomSource(seed=5)
+        return LatencyModel(topo, rng, JitterParams(sigma=sigma))
+
+    def test_zero_sigma_gives_base_delay(self):
+        model = self.make_model(sigma=0.0)
+        assert model.sample_one_way("coord", "agent") == pytest.approx(0.068)
+
+    def test_jitter_respects_floor(self):
+        model = self.make_model(sigma=0.5)
+        base = 0.068
+        floor = base * model.jitter.floor
+        samples = [model.sample_one_way("coord", "agent")
+                   for _ in range(2000)]
+        assert all(s >= floor - 1e-12 for s in samples)
+
+    def test_median_near_base(self):
+        model = self.make_model(sigma=0.15)
+        samples = sorted(model.sample_one_way("coord", "agent")
+                         for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(0.068, rel=0.05)
+
+    def test_sample_rtt_is_two_one_ways(self):
+        model = self.make_model(sigma=0.0)
+        assert model.sample_rtt("coord", "agent") == pytest.approx(0.136)
+
+    def test_directions_are_independent_streams(self):
+        model = self.make_model(sigma=0.3)
+        forward = model.sample_one_way("coord", "agent")
+        backward = model.sample_one_way("agent", "coord")
+        assert forward != backward
+
+    def test_jitter_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitterParams(sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            JitterParams(floor=0.0)
+        with pytest.raises(ConfigurationError):
+            JitterParams(floor=1.5)
+
+
+class TestFaultInjector:
+    def test_isolation_blocks_both_directions(self):
+        faults = FaultInjector()
+        faults.isolate("tokyo", start=10.0, end=20.0)
+        assert faults.should_drop("tokyo", "oregon", 15.0)
+        assert faults.should_drop("oregon", "tokyo", 15.0)
+
+    def test_isolation_respects_window(self):
+        faults = FaultInjector()
+        faults.isolate("tokyo", start=10.0, end=20.0)
+        assert not faults.should_drop("tokyo", "oregon", 9.9)
+        assert not faults.should_drop("tokyo", "oregon", 20.0)
+
+    def test_pair_partition_only_affects_the_pair(self):
+        faults = FaultInjector()
+        faults.partition_pair("a", "b", start=0.0, end=100.0)
+        assert faults.should_drop("a", "b", 50.0)
+        assert not faults.should_drop("a", "c", 50.0)
+        assert not faults.should_drop("c", "b", 50.0)
+
+    def test_group_partition_blocks_boundary_not_interior(self):
+        faults = FaultInjector()
+        faults.partition_group(["a", "b"], start=0.0, end=10.0)
+        assert faults.should_drop("a", "outside", 5.0)
+        assert not faults.should_drop("a", "b", 5.0)
+
+    def test_message_loss_requires_rng(self):
+        faults = FaultInjector()
+        with pytest.raises(ConfigurationError):
+            faults.set_loss("a", "b", 0.5)
+
+    def test_message_loss_statistics(self):
+        faults = FaultInjector(rng=RandomSource(seed=3))
+        faults.set_loss("a", "b", 0.3)
+        drops = sum(faults.should_drop("a", "b", 0.0) for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+        assert faults.dropped_messages == drops
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(frozenset(("a",)), start=5.0, end=5.0)
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(frozenset(), start=0.0, end=1.0)
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(frozenset(("a",)), start=0.0, end=1.0, among=True)
+
+    def test_dropped_message_counter_counts_partitions(self):
+        faults = FaultInjector()
+        faults.isolate("x", 0.0, 10.0)
+        faults.should_drop("x", "y", 5.0)
+        faults.should_drop("y", "x", 5.0)
+        faults.should_drop("y", "z", 5.0)
+        assert faults.dropped_messages == 2

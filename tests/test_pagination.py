@@ -1,0 +1,96 @@
+"""Tests for cursor pagination, at the helper and the service level."""
+
+import pytest
+
+from repro.errors import InvalidRequestError
+from repro.webapi import DEFAULT_PAGE_SIZE, Page, paginate
+
+from tests.test_services import AGENT_HOSTS, await_value, make_world
+from repro.services import BloggerService
+
+
+class TestPaginateHelper:
+    ITEMS = [f"M{i}" for i in range(10)]
+
+    def test_first_page(self):
+        page = paginate(self.ITEMS, cursor=None, limit=4)
+        assert page.items == ("M0", "M1", "M2", "M3")
+        assert page.next_cursor == "M3"
+        assert not page.is_last
+
+    def test_following_pages(self):
+        page = paginate(self.ITEMS, cursor="M3", limit=4)
+        assert page.items == ("M4", "M5", "M6", "M7")
+        last = paginate(self.ITEMS, cursor=page.next_cursor, limit=4)
+        assert last.items == ("M8", "M9")
+        assert last.is_last
+
+    def test_exact_boundary_is_last_page(self):
+        page = paginate(self.ITEMS, cursor="M4", limit=5)
+        assert page.items == ("M5", "M6", "M7", "M8", "M9")
+        assert page.is_last
+
+    def test_vanished_cursor_restarts_from_head(self):
+        page = paginate(self.ITEMS, cursor="pruned-away", limit=3)
+        assert page.items == ("M0", "M1", "M2")
+
+    def test_empty_items(self):
+        page = paginate([], cursor=None, limit=5)
+        assert page.items == ()
+        assert page.is_last
+
+    def test_new_head_items_do_not_shift_cursors(self):
+        # An item prepended after the first page must not disturb a
+        # cursor anchored at M3.
+        grown = ["NEW"] + self.ITEMS
+        page = paginate(grown, cursor="M3", limit=4)
+        assert page.items == ("M4", "M5", "M6", "M7")
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            paginate(self.ITEMS, cursor=None, limit=0)
+
+    def test_page_dataclass(self):
+        page = Page(items=("a",), next_cursor=None)
+        assert page.is_last
+
+
+class TestServicePagination:
+    def make_blogger_with_posts(self, count):
+        sim, topo, net, rng = make_world()
+        service = BloggerService(sim, topo, net, rng)
+        session = service.create_session("oregon", "agent-oregon")
+        for index in range(count):
+            await_value(sim, session.post_message(f"P{index:02d}"))
+        return sim, session
+
+    def test_single_page_fetch_returns_newest(self):
+        sim, session = self.make_blogger_with_posts(DEFAULT_PAGE_SIZE + 5)
+        view = await_value(sim, session.fetch_messages())
+        assert len(view) == DEFAULT_PAGE_SIZE
+        # Chronological order, ending at the newest post.
+        assert view[-1] == f"P{DEFAULT_PAGE_SIZE + 4:02d}"
+        assert list(view) == sorted(view)
+
+    def test_fetch_history_walks_cursors(self):
+        sim, session = self.make_blogger_with_posts(12)
+        history = await_value(
+            sim, session.fetch_history(max_pages=4, page_limit=5)
+        )
+        assert history == tuple(f"P{i:02d}" for i in range(12))
+
+    def test_fetch_history_respects_max_pages(self):
+        sim, session = self.make_blogger_with_posts(12)
+        history = await_value(
+            sim, session.fetch_history(max_pages=2, page_limit=5)
+        )
+        assert len(history) == 10  # two pages of five
+        # The two newest pages, chronologically.
+        assert history == tuple(f"P{i:02d}" for i in range(2, 12))
+
+    def test_history_counts_each_page_as_a_read(self):
+        sim, session = self.make_blogger_with_posts(12)
+        before = session.reads_issued
+        await_value(sim, session.fetch_history(max_pages=3,
+                                               page_limit=5))
+        assert session.reads_issued == before + 3

@@ -1,0 +1,189 @@
+"""Property-based validation of the anomaly checkers.
+
+Two kinds of properties:
+
+1. **Brute-force equivalence** — for arbitrary generated traces, each
+   checker's verdict must agree with a direct, quantifier-by-quantifier
+   transcription of the paper's §III formula (the checkers use
+   optimized formulations; these tests pin them to the definitions).
+2. **Consistent-history soundness** — traces sampled from a
+   linearizable oracle (every read returns a prefix of one total
+   order, containing all completed writes) must never trigger any
+   checker.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import check_all
+from repro.core.anomalies import (
+    ContentDivergenceChecker,
+    MonotonicReadsChecker,
+    MonotonicWritesChecker,
+    OrderDivergenceChecker,
+    ReadYourWritesChecker,
+)
+
+from tests.helpers import make_trace, read, write
+
+AGENTS = ("oregon", "tokyo", "ireland")
+MESSAGES = ["M0", "M1", "M2", "M3", "M4", "M5"]
+
+
+@st.composite
+def arbitrary_traces(draw):
+    """Traces with arbitrary (possibly inconsistent) read results."""
+    num_messages = draw(st.integers(2, 6))
+    message_ids = MESSAGES[:num_messages]
+    operations = []
+    time = 0.0
+    authors = {}
+    for message_id in message_ids:
+        author = draw(st.sampled_from(AGENTS))
+        authors[message_id] = author
+        time += draw(st.floats(0.1, 2.0))
+        operations.append(write(author, message_id, time))
+    num_reads = draw(st.integers(1, 8))
+    for _ in range(num_reads):
+        agent = draw(st.sampled_from(AGENTS))
+        time += draw(st.floats(0.1, 2.0))
+        observed = tuple(draw(st.permutations(
+            draw(st.lists(st.sampled_from(message_ids), unique=True,
+                          max_size=num_messages))
+        )))
+        operations.append(read(agent, observed, time))
+    return make_trace(operations)
+
+
+# -- Brute-force transcriptions of the §III formulas -------------------------
+
+
+def brute_force_ryw(trace):
+    for agent in trace.agents:
+        for r in trace.reads_by(agent):
+            completed = [w for w in trace.writes_by(agent)
+                         if w.response_local <= r.invoke_local]
+            if any(w.message_id not in r.observed for w in completed):
+                return True
+    return False
+
+
+def brute_force_mw(trace):
+    for r in trace.reads():
+        for agent in trace.agents:
+            session = [
+                w for w in trace.writes_by(agent)
+                if trace.corrected_response(w)
+                <= trace.corrected_invoke(r)
+            ]
+            for i, x in enumerate(session):
+                for y in session[i + 1:]:
+                    if y.message_id not in r.observed:
+                        continue
+                    if x.message_id not in r.observed:
+                        return True
+                    if (r.observed.index(y.message_id)
+                            < r.observed.index(x.message_id)):
+                        return True
+    return False
+
+
+def brute_force_mr(trace):
+    for agent in trace.agents:
+        reads = trace.reads_by(agent)
+        for i, first in enumerate(reads):
+            for second in reads[i + 1:]:
+                if any(x not in second.observed
+                       for x in first.observed):
+                    return True
+    return False
+
+
+def brute_force_content(trace):
+    for a, b in trace.agent_pairs():
+        for ra in trace.reads_by(a):
+            for rb in trace.reads_by(b):
+                sa, sb = set(ra.observed), set(rb.observed)
+                if (sa - sb) and (sb - sa):
+                    return True
+    return False
+
+
+def brute_force_order(trace):
+    for a, b in trace.agent_pairs():
+        for ra in trace.reads_by(a):
+            for rb in trace.reads_by(b):
+                common = set(ra.observed) & set(rb.observed)
+                for x in common:
+                    for y in common:
+                        if x == y:
+                            continue
+                        if (ra.observed.index(x) < ra.observed.index(y)
+                                and rb.observed.index(y)
+                                < rb.observed.index(x)):
+                            return True
+    return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_checkers_match_brute_force_definitions(trace):
+    assert bool(ReadYourWritesChecker().check(trace)) \
+        == brute_force_ryw(trace)
+    assert bool(MonotonicWritesChecker().check(trace)) \
+        == brute_force_mw(trace)
+    assert bool(MonotonicReadsChecker().check(trace)) \
+        == brute_force_mr(trace)
+    assert bool(ContentDivergenceChecker().check(trace)) \
+        == brute_force_content(trace)
+    assert bool(OrderDivergenceChecker().check(trace)) \
+        == brute_force_order(trace)
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_checkers_are_deterministic(trace):
+    first = check_all(trace).summary()
+    second = check_all(trace).summary()
+    assert first == second
+
+
+# -- Linearizable-oracle soundness ------------------------------------------
+
+
+@st.composite
+def linearizable_traces(draw):
+    """Traces where every read is consistent with one total order.
+
+    Writes land in a single global order; every read returns exactly
+    the writes completed before its invocation, in that order.  No
+    checker may fire on such a trace.
+    """
+    num_messages = draw(st.integers(2, 6))
+    message_ids = MESSAGES[:num_messages]
+    operations = []
+    committed = []  # (response_time, message_id)
+    time = 0.0
+    for message_id in message_ids:
+        author = draw(st.sampled_from(AGENTS))
+        time += draw(st.floats(0.2, 2.0))
+        op = write(author, message_id, time)
+        operations.append(op)
+        committed.append((op.response_local, message_id))
+        # Interleave reads from arbitrary agents.
+        for _ in range(draw(st.integers(0, 2))):
+            agent = draw(st.sampled_from(AGENTS))
+            time += draw(st.floats(0.2, 1.0))
+            visible = tuple(mid for resp, mid in committed
+                            if resp <= time)
+            operations.append(read(agent, visible, time))
+    return make_trace(operations)
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=linearizable_traces())
+def test_linearizable_histories_trigger_no_checker(trace):
+    report = check_all(trace)
+    assert all(count == 0 for count in report.summary().values()), (
+        f"false positive on a linearizable history: "
+        f"{report.summary()}"
+    )

@@ -1,0 +1,94 @@
+"""Property-based validation of divergence-window computation."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    content_divergence_windows,
+    order_divergence_windows,
+)
+from repro.core.anomalies import (
+    ContentDivergenceChecker,
+    OrderDivergenceChecker,
+)
+
+from tests.test_property_checkers import arbitrary_traces
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_intervals_are_sorted_disjoint_and_in_range(trace):
+    observation_times = [trace.corrected_response(op)
+                         for op in trace.operations]
+    lo, hi = min(observation_times), max(observation_times)
+    for first, second in trace.agent_pairs():
+        for compute in (content_divergence_windows,
+                        order_divergence_windows):
+            result = compute(trace, first, second)
+            previous_end = float("-inf")
+            for start, end in result.intervals:
+                assert start >= previous_end, "intervals must be disjoint"
+                assert end >= start
+                assert lo <= start <= hi
+                assert lo <= end <= hi
+                previous_end = end
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_windows_are_symmetric_in_pair_order(trace):
+    for first, second in trace.agent_pairs():
+        forward = content_divergence_windows(trace, first, second)
+        backward = content_divergence_windows(trace, second, first)
+        assert forward.pair == backward.pair
+        assert forward.intervals == backward.intervals
+        assert forward.converged == backward.converged
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_largest_never_exceeds_total(trace):
+    for first, second in trace.agent_pairs():
+        result = content_divergence_windows(trace, first, second)
+        if result.largest is not None:
+            assert result.largest <= result.total + 1e-9
+            assert result.largest >= 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=arbitrary_traces())
+def test_timeline_divergence_implies_checker_detection(trace):
+    """A positive window means two coexisting views conflicted, and
+    those views came from actual reads — so the pairwise checker must
+    also fire.  (The converse is false: the paper's zero-window example
+    has checker-detected divergence with no window.)
+    """
+    content_pairs = {
+        obs.pair
+        for obs in ContentDivergenceChecker().check(trace)
+    }
+    order_pairs = {
+        obs.pair
+        for obs in OrderDivergenceChecker().check(trace)
+    }
+    for first, second in trace.agent_pairs():
+        pair = tuple(sorted((first, second)))
+        if content_divergence_windows(trace, first, second).diverged:
+            assert pair in content_pairs
+        if order_divergence_windows(trace, first, second).diverged:
+            assert pair in order_pairs
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace=arbitrary_traces())
+def test_unconverged_iff_final_views_divergent(trace):
+    for first, second in trace.agent_pairs():
+        result = content_divergence_windows(trace, first, second)
+        reads_a = trace.reads_by(*[a for a in (first,)])
+        reads_b = trace.reads_by(second)
+        final_a = reads_a[-1].observed if reads_a else ()
+        final_b = reads_b[-1].observed if reads_b else ()
+        from repro.core.anomalies import views_content_diverged
+
+        assert result.converged == (
+            not views_content_diverged(final_a, final_b)
+        )

@@ -1,0 +1,117 @@
+"""Tests for the ASCII CDF and timeline renderers."""
+
+import pytest
+
+from repro.analysis import CdfSeries, render_cdf, render_timeline
+from repro.core import EmpiricalCDF
+from repro.errors import AnalysisError
+
+from tests.helpers import make_trace, read, write
+
+
+class TestRenderCdf:
+    def make_series(self, label="a", samples=(1.0, 2.0, 3.0)):
+        return CdfSeries(label=label,
+                         cdf=EmpiricalCDF.from_samples(samples))
+
+    def test_basic_shape(self):
+        text = render_cdf([self.make_series()], width=32, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + x labels + legend
+        assert lines[0].startswith("1.00 |")
+        assert lines[7].startswith("0.00 |")
+        assert "o a" in lines[-1]
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = render_cdf(
+            [self.make_series("first"), self.make_series("second")],
+            width=32, height=8,
+        )
+        assert "o first" in text
+        assert "x second" in text
+
+    def test_x_axis_spans_max_sample(self):
+        text = render_cdf(
+            [self.make_series(samples=(0.5, 12.5))], width=32, height=8
+        )
+        assert "12.50 seconds" in text
+
+    def test_monotone_curve(self):
+        # Marker rows must be non-increasing left to right (CDF rises).
+        text = render_cdf([self.make_series()], width=32, height=8)
+        rows = [line[6:] for line in text.splitlines()[:8]]
+        first_marker_rows = []
+        for column in range(32):
+            for row_index, row in enumerate(rows):
+                if row[column] == "o":
+                    first_marker_rows.append(row_index)
+                    break
+        assert first_marker_rows == sorted(first_marker_rows,
+                                           reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            render_cdf([], width=32, height=8)
+        with pytest.raises(AnalysisError):
+            render_cdf([self.make_series()], width=4, height=2)
+
+    def test_custom_x_label(self):
+        text = render_cdf([self.make_series()], width=32, height=8,
+                          x_label="ms")
+        assert "ms" in text
+
+
+class TestRenderTimeline:
+    def make_test_trace(self):
+        return make_trace([
+            write("oregon", "t.M1", 0.0, response=0.5),
+            write("oregon", "t.M2", 0.5, response=1.0),
+            read("tokyo", ("t.M1",), 1.0),
+            read("tokyo", ("t.M1", "t.M2"), 2.0),
+            write("ireland", "t.M3", 3.0, response=3.5),
+            read("oregon", ("t.M1", "t.M2", "t.M3"), 4.0),
+        ], test_id="demo")
+
+    def test_all_agents_have_lanes(self):
+        text = render_timeline(self.make_test_trace(), width=60)
+        assert "oregon " in text
+        assert "tokyo " in text
+        assert "ireland " in text
+
+    def test_writes_are_labelled_boxes(self):
+        text = render_timeline(self.make_test_trace(), width=80)
+        assert "[M1" in text
+        assert "[M2" in text
+        assert "[M3" in text
+
+    def test_reads_are_ticks(self):
+        text = render_timeline(self.make_test_trace(), width=60)
+        tokyo_lane = next(line for line in text.splitlines()
+                          if line.lstrip().startswith("tokyo"))
+        assert tokyo_lane.count("|") == 2
+
+    def test_header_mentions_test(self):
+        text = render_timeline(self.make_test_trace(), width=60)
+        assert text.splitlines()[0].startswith("demo (test1")
+
+    def test_clock_deltas_shift_columns(self):
+        # A large delta moves an agent's operations on the shared
+        # reference timeline (here: tokyo's read to the far left).
+        trace = make_trace(
+            [
+                write("oregon", "t.M1", 0.0, response=0.5),
+                read("tokyo", ("t.M1",), 100.0),
+            ],
+            clock_deltas={"tokyo": 100.0},
+        )
+        text = render_timeline(trace, width=60)
+        tokyo_lane = next(line for line in text.splitlines()
+                          if line.lstrip().startswith("tokyo"))
+        tick_position = tokyo_lane.index("|")
+        assert tick_position < 25  # corrected back near t=0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            render_timeline(self.make_test_trace(), width=8)
+        with pytest.raises(AnalysisError):
+            render_timeline(make_trace([]), width=60)

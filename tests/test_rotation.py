@@ -1,0 +1,99 @@
+"""Agent-role rotation: the paper's artifact-isolation experiment.
+
+§V, monotonic writes: the distribution asymmetries across locations
+"might be a consequence of the way that our tests are designed, as in
+test 1 Ireland is the last client to issue its sequence of two write
+operations, terminating the test as soon as these become visible...
+This observation is supported by ... additional experiments that we
+have performed, where we rotated the location of each agent."
+
+We replicate the rotation experiment on the Facebook Feed model: the
+exposure of a writer's (M_a, M_b) pair to reordering observations is
+set by its *role position* in the staggered chain (earlier writers'
+pairs are visible for more of the test), so rotating which location
+plays which role must move the asymmetry with the role, not the
+location.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import MONOTONIC_WRITES
+from repro.errors import ConfigurationError
+from repro.methodology import CampaignConfig, MeasurementWorld, run_campaign
+
+
+def mw_observations_by_writer(result):
+    """writer-agent -> total monotonic-writes observations."""
+    counts = Counter()
+    for record in result.of_type("test1"):
+        for obs in record.report.observations.get(MONOTONIC_WRITES, []):
+            counts[obs.details["writer"]] += 1
+    return counts
+
+
+class TestRoleOrderValidation:
+    def test_default_order_is_papers(self):
+        world = MeasurementWorld("blogger", seed=1)
+        assert world.agent_names == ("oregon", "tokyo", "ireland")
+
+    def test_rotation_reorders_roles(self):
+        world = MeasurementWorld(
+            "blogger", seed=1,
+            role_order=("ireland", "oregon", "tokyo"),
+        )
+        assert world.agent_names == ("ireland", "oregon", "tokyo")
+
+    def test_invalid_rotation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementWorld("blogger", seed=1,
+                             role_order=("oregon", "oregon", "tokyo"))
+        with pytest.raises(ConfigurationError):
+            MeasurementWorld("blogger", seed=1,
+                             role_order=("oregon",))
+
+
+class TestRotationExperiment:
+    def test_first_writer_role_accumulates_most_mw_observations(self):
+        """The role artifact: earlier writers' pairs are exposed longer.
+
+        Run the same Facebook Feed campaign under the paper's order
+        and under a rotation; in both, the agent holding the *first*
+        writer role must accumulate more monotonic-writes observations
+        (as the reordered pair) than the agent holding the *last*
+        role — regardless of which location holds the role.
+        """
+        orders = [
+            ("oregon", "tokyo", "ireland"),   # the paper's default
+            ("ireland", "oregon", "tokyo"),   # rotated
+        ]
+        for order in orders:
+            result = run_campaign("facebook_feed", CampaignConfig(
+                num_tests=25, seed=17, test_types=("test1",),
+                role_order=order,
+            ))
+            counts = mw_observations_by_writer(result)
+            first_role, last_role = order[0], order[-1]
+            assert counts[first_role] > counts[last_role], (
+                f"role order {order}: first writer "
+                f"{first_role} ({counts[first_role]} observations) "
+                f"should exceed last writer {last_role} "
+                f"({counts[last_role]})"
+            )
+
+    def test_artifact_follows_role_not_location(self):
+        """Ireland's low count disappears once Ireland writes first."""
+        default = run_campaign("facebook_feed", CampaignConfig(
+            num_tests=25, seed=17, test_types=("test1",),
+        ))
+        rotated = run_campaign("facebook_feed", CampaignConfig(
+            num_tests=25, seed=17, test_types=("test1",),
+            role_order=("ireland", "oregon", "tokyo"),
+        ))
+        default_counts = mw_observations_by_writer(default)
+        rotated_counts = mw_observations_by_writer(rotated)
+        # Ireland as last writer (default) sees the fewest of its own
+        # pairs observed; Ireland as first writer sees the most.
+        assert default_counts["ireland"] == min(default_counts.values())
+        assert rotated_counts["ireland"] == max(rotated_counts.values())

@@ -1,0 +1,193 @@
+"""Integration tests for the four service models through their APIs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    IRELAND,
+    OREGON,
+    TOKYO,
+    JitterParams,
+    LatencyModel,
+    Network,
+    paper_topology,
+)
+from repro.services import (
+    SERVICE_NAMES,
+    BloggerService,
+    FacebookFeedParams,
+    FacebookFeedService,
+    FacebookGroupService,
+    GooglePlusService,
+    build_service,
+)
+from repro.replication import RankedFeedParams
+from repro.sim import RandomSource, Simulator
+
+AGENT_HOSTS = {
+    "oregon": ("agent-oregon", OREGON),
+    "tokyo": ("agent-tokyo", TOKYO),
+    "ireland": ("agent-ireland", IRELAND),
+}
+
+
+def make_world(seed=1):
+    sim = Simulator()
+    topo = paper_topology()
+    rng = RandomSource(seed=seed)
+    net = Network(sim, LatencyModel(topo, rng.child("net"),
+                                    JitterParams(sigma=0.1)))
+    for host, region in AGENT_HOSTS.values():
+        topo.place_host(host, region)
+        net.attach(host)
+    return sim, topo, net, rng
+
+
+def await_value(sim, future, timeout=120.0):
+    """Advance the simulation just until ``future`` resolves."""
+    deadline = sim.now + timeout
+    while not future.done and sim.now < deadline:
+        sim.run_until(min(sim.now + 0.05, deadline))
+    assert future.done, "future never resolved"
+    return future.value
+
+
+class TestBlogger:
+    def test_post_then_read_sees_everything(self):
+        sim, topo, net, rng = make_world()
+        service = BloggerService(sim, topo, net, rng)
+        oregon = service.create_session("oregon", "agent-oregon")
+        tokyo = service.create_session("tokyo", "agent-tokyo")
+
+        await_value(sim, oregon.post_message("M1"))
+        await_value(sim, tokyo.post_message("M2"))
+        assert await_value(sim, oregon.fetch_messages()) == ("M1", "M2")
+        assert await_value(sim, tokyo.fetch_messages()) == ("M1", "M2")
+
+    def test_each_agent_is_a_distinct_user(self):
+        sim, topo, net, rng = make_world()
+        service = BloggerService(sim, topo, net, rng)
+        a = service.create_session("oregon", "agent-oregon")
+        b = service.create_session("tokyo", "agent-tokyo")
+        assert a.account.user_id != b.account.user_id
+        assert a.account.token != b.account.token
+
+    def test_write_latency_includes_sync_replication(self):
+        sim, topo, net, rng = make_world()
+        service = BloggerService(sim, topo, net, rng)
+        session = service.create_session("oregon", "agent-oregon")
+        future = session.post_message("M1")
+        resolved_at = []
+        future.add_callback(lambda f: resolved_at.append(sim.now))
+        sim.run_until(60.0)
+        # Agent->API (~68ms one-way) + processing + backup round trips.
+        assert resolved_at[0] > 0.25
+
+
+class TestGooglePlus:
+    def test_agents_share_one_account(self):
+        sim, topo, net, rng = make_world()
+        service = GooglePlusService(sim, topo, net, rng)
+        a = service.create_session("oregon", "agent-oregon")
+        b = service.create_session("ireland", "agent-ireland")
+        assert a.account is b.account
+
+    def test_home_datacenter_mapping_matches_paper_inference(self):
+        sim, topo, net, rng = make_world()
+        service = GooglePlusService(sim, topo, net, rng)
+        assert service.home_datacenter("agent-oregon") == "gplus-dc-us"
+        assert service.home_datacenter("agent-tokyo") == "gplus-dc-us"
+        assert service.home_datacenter("agent-ireland") == "gplus-dc-eu"
+
+    def test_write_propagates_across_datacenters(self):
+        sim, topo, net, rng = make_world()
+        service = GooglePlusService(sim, topo, net, rng)
+        oregon = service.create_session("oregon", "agent-oregon")
+        ireland = service.create_session("ireland", "agent-ireland")
+        await_value(sim, oregon.post_message("M1"))
+        sim.run_until(sim.now + 120.0)
+        view = await_value(sim, ireland.fetch_messages())
+        assert view == ("M1",)
+
+    def test_cross_dc_read_is_initially_stale(self):
+        sim, topo, net, rng = make_world()
+        service = GooglePlusService(sim, topo, net, rng)
+        oregon = service.create_session("oregon", "agent-oregon")
+        ireland = service.create_session("ireland", "agent-ireland")
+        await_value(sim, oregon.post_message("M1"), timeout=2.0)
+        view = await_value(sim, ireland.fetch_messages(), timeout=2.0)
+        assert view == ()
+
+
+class TestFacebookFeed:
+    def fast_params(self):
+        return FacebookFeedParams(
+            ranking=RankedFeedParams(
+                index_lag_median=0.01, index_lag_sigma=0.01,
+                drop_prob=0.0, noise_sd=0.0,
+            ),
+        )
+
+    def test_friends_see_each_others_posts(self):
+        sim, topo, net, rng = make_world()
+        service = FacebookFeedService(sim, topo, net, rng,
+                                      params=self.fast_params())
+        oregon = service.create_session("oregon", "agent-oregon")
+        tokyo = service.create_session("tokyo", "agent-tokyo")
+        await_value(sim, oregon.post_message("M1"))
+        sim.run_until(sim.now + 10.0)
+        view = await_value(sim, tokyo.fetch_messages())
+        assert view == ("M1",)
+
+    def test_session_normalizes_feed_to_chronological_order(self):
+        # The API lists newest first; the session reverses it into the
+        # chronological event sequence the anomaly model expects.
+        sim, topo, net, rng = make_world()
+        service = FacebookFeedService(sim, topo, net, rng,
+                                      params=self.fast_params())
+        oregon = service.create_session("oregon", "agent-oregon")
+        await_value(sim, oregon.post_message("M1"))
+        sim.run_until(sim.now + 5.0)
+        await_value(sim, oregon.post_message("M2"))
+        sim.run_until(sim.now + 10.0)
+        view = await_value(sim, oregon.fetch_messages())
+        assert view == ("M1", "M2")
+
+
+class TestFacebookGroup:
+    def test_tokyo_routes_to_follower(self):
+        sim, topo, net, rng = make_world()
+        service = FacebookGroupService(sim, topo, net, rng)
+        tokyo = service.create_session("tokyo", "agent-tokyo")
+        oregon = service.create_session("oregon", "agent-oregon")
+        assert tokyo._client.service_host == "fbgroup-api-tokyo"
+        assert oregon._client.service_host == "fbgroup-api-us"
+
+    def test_group_feed_converges_across_replicas(self):
+        sim, topo, net, rng = make_world()
+        service = FacebookGroupService(sim, topo, net, rng)
+        tokyo = service.create_session("tokyo", "agent-tokyo")
+        oregon = service.create_session("oregon", "agent-oregon")
+        await_value(sim, tokyo.post_message("MT"))
+        await_value(sim, oregon.post_message("MO"))
+        sim.run_until(sim.now + 30.0)
+        view_t = await_value(sim, tokyo.fetch_messages())
+        view_o = await_value(sim, oregon.fetch_messages())
+        assert set(view_t) == {"MT", "MO"}
+        assert view_t == view_o
+
+
+class TestRegistry:
+    def test_all_services_buildable(self):
+        for name in SERVICE_NAMES:
+            sim, topo, net, rng = make_world()
+            service = build_service(name, sim, topo, net, rng)
+            assert service.name == name
+            session = service.create_session("oregon", "agent-oregon")
+            value = await_value(sim, session.post_message("M1"))
+            assert value["id"] == "M1"
+
+    def test_unknown_service_rejected(self):
+        sim, topo, net, rng = make_world()
+        with pytest.raises(ConfigurationError):
+            build_service("myspace", sim, topo, net, rng)

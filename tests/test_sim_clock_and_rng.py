@@ -1,0 +1,147 @@
+"""Unit + property tests for drifting clocks and random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import DriftingClock, PerfectClock, RandomSource, Simulator
+from repro.sim.clock import make_host_clock
+from repro.sim.random_source import derive_seed
+
+
+class TestDriftingClock:
+    def test_offset_shifts_reading(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=3.0)
+        sim.run_until(10.0)
+        assert clock.now() == pytest.approx(13.0)
+
+    def test_drift_accumulates_with_time(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, drift_ppm=100.0)  # 100 ppm fast
+        sim.run_until(10_000.0)
+        assert clock.now() == pytest.approx(10_001.0)
+
+    def test_perfect_clock_reads_ground_truth(self):
+        sim = Simulator()
+        clock = PerfectClock(sim)
+        sim.run_until(123.456)
+        assert clock.now() == pytest.approx(123.456)
+
+    def test_round_trip_conversion(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=-2.5, drift_ppm=42.0)
+        true_time = 5_000.0
+        assert clock.to_true(clock.to_local(true_time)) == pytest.approx(
+            true_time
+        )
+
+    def test_error_at_matches_definition(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=1.0, drift_ppm=10.0)
+        assert clock.error_at(0.0) == pytest.approx(1.0)
+        assert clock.error_at(100_000.0) == pytest.approx(2.0)
+
+    def test_step_adjustment(self):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=1.0)
+        clock.step(-1.0)
+        assert clock.now() == pytest.approx(0.0)
+
+    def test_absurd_drift_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            DriftingClock(sim, drift_ppm=2e6)
+
+    @given(
+        offset=st.floats(-10, 10),
+        drift=st.floats(-500, 500),
+        true_time=st.floats(0, 1e6),
+    )
+    def test_conversion_is_inverse_property(self, offset, drift, true_time):
+        sim = Simulator()
+        clock = DriftingClock(sim, offset=offset, drift_ppm=drift)
+        local = clock.to_local(true_time)
+        assert clock.to_true(local) == pytest.approx(true_time, abs=1e-6)
+
+    def test_make_host_clock_within_bounds_and_deterministic(self):
+        sim = Simulator()
+        rng = RandomSource(seed=1)
+        clock = make_host_clock(sim, rng, "agent-oregon",
+                                max_offset=2.0, max_drift_ppm=30.0)
+        assert -2.0 <= clock.offset <= 2.0
+        assert -30.0 <= clock.drift_ppm <= 30.0
+        again = make_host_clock(Simulator(), RandomSource(seed=1),
+                                "agent-oregon", max_offset=2.0,
+                                max_drift_ppm=30.0)
+        assert again.offset == clock.offset
+        assert again.drift_ppm == clock.drift_ppm
+
+
+class TestRandomSource:
+    def test_same_name_returns_same_stream(self):
+        rng = RandomSource(seed=7)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_streams_are_independent_of_each_other(self):
+        # Draw from stream "a", then check "b" is unaffected.
+        rng1 = RandomSource(seed=7)
+        rng1.stream("a").random()
+        b_after_a = rng1.stream("b").random()
+
+        rng2 = RandomSource(seed=7)
+        b_fresh = rng2.stream("b").random()
+        assert b_after_a == b_fresh
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(seed=1).stream("x").random()
+        b = RandomSource(seed=2).stream("x").random()
+        assert a != b
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(42, "net") == derive_seed(42, "net")
+        assert derive_seed(42, "net") != derive_seed(42, "neu")
+
+    def test_child_namespacing(self):
+        rng = RandomSource(seed=3)
+        child = rng.child("google")
+        # A child's stream must differ from the parent's same-named one.
+        assert child.stream("lag").random() != rng.stream("lag").random()
+
+    def test_spawn_seeds_unique(self):
+        rng = RandomSource(seed=9)
+        seeds = rng.spawn_seeds("agents", 10)
+        assert len(set(seeds)) == 10
+
+    def test_spawn_seeds_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(seed=0).spawn_seeds("x", -1)
+
+    def test_lognormal_median_parameterization(self):
+        rng = RandomSource(seed=11)
+        draws = sorted(
+            rng.lognormal("lat", median=10.0, sigma=0.2) for _ in range(4001)
+        )
+        median = draws[len(draws) // 2]
+        assert 9.0 < median < 11.0
+
+    def test_bernoulli_respects_probability(self):
+        rng = RandomSource(seed=13)
+        hits = sum(rng.bernoulli("coin", 0.25) for _ in range(8000))
+        assert 0.21 < hits / 8000 < 0.29
+
+    def test_validation_errors(self):
+        rng = RandomSource(seed=0)
+        with pytest.raises(ValueError):
+            rng.exponential("x", mean=0.0)
+        with pytest.raises(ValueError):
+            rng.lognormal("x", median=-1.0, sigma=0.1)
+        with pytest.raises(ValueError):
+            rng.bernoulli("x", 1.5)
+        with pytest.raises(ValueError):
+            rng.choice("x", [])
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_derive_seed_always_in_64_bit_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64

@@ -1,0 +1,175 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_configured_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_schedule_after_fires_at_right_time(self):
+        sim = Simulator()
+        fired_at = []
+        sim.schedule_after(2.5, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        fired_at = []
+        sim.schedule_at(12.0, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [12.0]
+
+    def test_callback_args_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(1.0, seen.append, "payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_after(3.0, order.append, "c")
+        sim.schedule_after(1.0, order.append, "a")
+        sim.schedule_after(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule_after(1.0, order.append, label)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-0.1, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired_at = []
+
+        def chain(depth):
+            fired_at.append(sim.now)
+            if depth > 0:
+                sim.schedule_after(1.0, chain, depth - 1)
+
+        sim.schedule_after(1.0, chain, 2)
+        sim.run()
+        assert fired_at == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_after(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled and not handle.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule_after(1.0, lambda: None)
+        sim.run()
+        assert handle.fired
+        handle.cancel()  # must not raise
+
+    def test_cancelled_events_do_not_stall_run_until(self):
+        sim = Simulator()
+        handle = sim.schedule_after(1.0, lambda: None)
+        handle.cancel()
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+
+class TestRunUntil:
+    def test_advances_clock_even_with_no_events(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_does_not_execute_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_after(10.0, fired.append, "late")
+        sim.schedule_after(1.0, fired.append, "early")
+        sim.run_until(5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_boundary_event_is_executed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_after(5.0, fired.append, "edge")
+        sim.run_until(5.0)
+        assert fired == ["edge"]
+
+    def test_running_backwards_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(9.0)
+
+    def test_strict_mode_detects_deadlock(self):
+        sim = Simulator()
+        sim.schedule_after(1.0, lambda: None)
+        with pytest.raises(DeadlockError):
+            sim.run_until(10.0, strict=True)
+
+    def test_strict_mode_passes_when_events_persist(self):
+        sim = Simulator()
+
+        def heartbeat():
+            sim.schedule_after(1.0, heartbeat)
+
+        heartbeat()
+        sim.run_until(10.0, strict=True)
+        assert sim.now == 10.0
+
+
+class TestAccounting:
+    def test_events_processed_counts_only_fired(self):
+        sim = Simulator()
+        sim.schedule_after(1.0, lambda: None)
+        cancelled = sim.schedule_after(2.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_max_events_bounds_run(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule_after(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_after(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,75 @@
+"""Tests for campaign replication and parameter sweeps."""
+
+import pytest
+
+from repro.core import READ_YOUR_WRITES
+from repro.errors import ConfigurationError
+from repro.methodology import (
+    CampaignConfig,
+    prevalence_statistics,
+    replicate,
+    sweep,
+)
+from repro.replication import QuorumParams
+from repro.services import QuorumKvParams
+
+SMALL = CampaignConfig(num_tests=3, seed=0, test_types=("test1",))
+
+
+class TestReplicate:
+    def test_runs_one_campaign_per_seed(self):
+        results = replicate("blogger", SMALL, seeds=[1, 2, 3])
+        assert len(results) == 3
+        assert [r.config.seed for r in results] == [1, 2, 3]
+
+    def test_same_seed_reproduces(self):
+        a, b = replicate("googleplus", SMALL, seeds=[5, 5])
+        assert a.summary() == b.summary()
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate("blogger", SMALL, seeds=[])
+
+
+class TestSweep:
+    def test_one_result_per_configuration(self):
+        grid = {
+            "weak": QuorumKvParams(
+                quorum=QuorumParams(read_quorum=1, write_quorum=1)
+            ),
+            "strict": QuorumKvParams(
+                quorum=QuorumParams(read_quorum=2, write_quorum=2)
+            ),
+        }
+        results = sweep("quorum_kv", SMALL, grid)
+        assert set(results) == {"weak", "strict"}
+        weak = results["weak"].prevalence(READ_YOUR_WRITES)
+        strict = results["strict"].prevalence(READ_YOUR_WRITES)
+        assert strict == 0.0
+        assert weak >= strict
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("blogger", SMALL, {})
+
+
+class TestPrevalenceStatistics:
+    def test_aggregates_across_seeds(self):
+        results = replicate("googleplus",
+                            CampaignConfig(num_tests=5, seed=0,
+                                           test_types=("test1",)),
+                            seeds=[1, 2, 3])
+        stats = prevalence_statistics(results, test_type="test1")
+        ryw = stats[READ_YOUR_WRITES]
+        assert ryw.samples == 3
+        assert ryw.minimum <= ryw.mean <= ryw.maximum
+        assert 0.0 <= ryw.spread <= 1.0
+
+    def test_blogger_is_zero_everywhere(self):
+        results = replicate("blogger", SMALL, seeds=[1, 2])
+        stats = prevalence_statistics(results)
+        assert all(entry.mean == 0.0 for entry in stats.values())
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prevalence_statistics([])

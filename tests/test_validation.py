@@ -1,0 +1,99 @@
+"""Tests for ground-truth (white-box) validation of the methodology."""
+
+import pytest
+
+from repro.analysis import (
+    ground_truth_trace,
+    summarize_window_errors,
+    window_measurement_errors,
+)
+from repro.core import ReadOp, TestTrace, WriteOp, check_all
+from repro.errors import AnalysisError
+from repro.methodology import CampaignConfig, run_campaign
+
+
+def op_with_truth(cls, agent, t_local, t_true, **kwargs):
+    return cls(agent=agent, invoke_local=t_local,
+               response_local=t_local + 0.1,
+               true_invoke=t_true, true_response=t_true + 0.1,
+               **kwargs)
+
+
+class TestGroundTruthTrace:
+    def make_trace(self):
+        trace = TestTrace(test_id="t", service="s", test_type="test1",
+                          agents=("oregon", "tokyo", "ireland"),
+                          clock_deltas={"oregon": 5.0})
+        trace.record(op_with_truth(WriteOp, "oregon", 15.0, 10.0,
+                                   message_id="M1"))
+        trace.record(op_with_truth(ReadOp, "oregon", 16.0, 11.0,
+                                   observed=("M1",)))
+        return trace
+
+    def test_oracle_uses_true_times_and_no_deltas(self):
+        oracle = ground_truth_trace(self.make_trace())
+        (write,) = oracle.writes()
+        assert write.invoke_local == pytest.approx(10.0)
+        assert oracle.clock_deltas == {}
+        assert oracle.corrected_invoke(write) == pytest.approx(10.0)
+
+    def test_oracle_preserves_content_and_triggers(self):
+        trace = self.make_trace()
+        trace.wfr_triggers = {"M1": frozenset({"M0"})}
+        oracle = ground_truth_trace(trace)
+        assert oracle.message_ids() == {"M1"}
+        assert oracle.wfr_triggers == trace.wfr_triggers
+        # Anomaly verdicts are clock-independent for same-session
+        # checks; this trace is clean in both frames.
+        assert check_all(oracle).summary() == check_all(trace).summary()
+
+    def test_missing_truth_rejected(self):
+        trace = TestTrace(test_id="t", service="s", test_type="test1",
+                          agents=("oregon", "tokyo", "ireland"))
+        trace.record(WriteOp(agent="oregon", message_id="M1",
+                             invoke_local=0.0, response_local=0.1))
+        with pytest.raises(AnalysisError, match="ground-truth"):
+            ground_truth_trace(trace)
+
+
+class TestWindowErrors:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign("googleplus", CampaignConfig(
+            num_tests=10, seed=13, test_types=("test2",),
+            keep_traces=True,
+        ))
+
+    def test_black_box_windows_track_ground_truth(self, campaign):
+        report = window_measurement_errors(campaign, kind="content")
+        errors = report.errors()
+        assert errors, "campaign should produce divergence windows"
+        # §IV: each correction is within RTT/2, a window involves two
+        # agents' corrections plus detection granularity.
+        assert report.within_bound_fraction() >= 0.9
+        stats = summarize_window_errors(report)
+        assert stats["median"] <= report.bound
+
+    def test_order_kind_supported(self, campaign):
+        report = window_measurement_errors(campaign, kind="order")
+        assert report.kind == "order"
+
+    def test_requires_kept_traces(self):
+        result = run_campaign("blogger", CampaignConfig(
+            num_tests=1, seed=1, test_types=("test2",),
+        ))
+        with pytest.raises(AnalysisError, match="keep_traces"):
+            window_measurement_errors(result)
+
+    def test_invalid_kind_rejected(self, campaign):
+        with pytest.raises(AnalysisError):
+            window_measurement_errors(campaign, kind="chaos")
+
+    def test_summary_handles_empty(self):
+        result = run_campaign("blogger", CampaignConfig(
+            num_tests=1, seed=1, test_types=("test2",),
+            keep_traces=True,
+        ))
+        report = window_measurement_errors(result)
+        stats = summarize_window_errors(report)
+        assert stats["count"] == 0.0

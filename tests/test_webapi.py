@@ -1,0 +1,264 @@
+"""Unit tests for the web-API façade: http types, auth, rate limits,
+endpoints, and the client."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    InvalidRequestError,
+    RateLimitExceededError,
+    ServiceError,
+)
+from repro.net import JitterParams, LatencyModel, Network, Region, Topology
+from repro.sim import Future, RandomSource, Simulator
+from repro.webapi import (
+    AccountRegistry,
+    ApiClient,
+    ApiRequest,
+    ApiResponse,
+    RateLimit,
+    ServiceEndpoint,
+    SlidingWindowRateLimiter,
+    error_response,
+    ok,
+)
+
+
+class TestHttpTypes:
+    def test_request_validates_method(self):
+        with pytest.raises(ServiceError):
+            ApiRequest(method="BREW", path="/coffee")
+
+    def test_require_param(self):
+        request = ApiRequest(method="GET", path="/x", params={"a": 1})
+        assert request.require_param("a") == 1
+        with pytest.raises(InvalidRequestError):
+            request.require_param("b")
+
+    def test_param_default(self):
+        request = ApiRequest(method="GET", path="/x")
+        assert request.param("missing", "fallback") == "fallback"
+
+    def test_ok_and_success(self):
+        response = ok({"x": 1})
+        assert response.is_success
+        assert response.raise_for_status() is response
+
+    def test_raise_for_status_maps_codes(self):
+        with pytest.raises(AuthenticationError):
+            ApiResponse(status=401, body={"error": "no"}).raise_for_status()
+        with pytest.raises(RateLimitExceededError) as info:
+            ApiResponse(status=429, body={
+                "error": "slow down", "retry_after": 2.5,
+            }).raise_for_status()
+        assert info.value.retry_after == 2.5
+        with pytest.raises(InvalidRequestError):
+            ApiResponse(status=400, body={}).raise_for_status()
+        with pytest.raises(ServiceError):
+            ApiResponse(status=500, body={}).raise_for_status()
+
+    def test_error_response_round_trip(self):
+        response = error_response(RateLimitExceededError(retry_after=1.0))
+        assert response.status == 429
+        assert response.body["retry_after"] == 1.0
+
+
+class TestAccounts:
+    def test_create_and_authenticate(self):
+        registry = AccountRegistry("svc")
+        account = registry.create_account("alice")
+        assert registry.authenticate(account.token) is account
+
+    def test_create_is_idempotent_per_user(self):
+        registry = AccountRegistry("svc")
+        assert registry.create_account("a") is registry.create_account("a")
+
+    def test_tokens_are_service_scoped(self):
+        token_a = AccountRegistry("svc-a").create_account("u").token
+        token_b = AccountRegistry("svc-b").create_account("u").token
+        assert token_a != token_b
+
+    def test_bad_tokens_rejected(self):
+        registry = AccountRegistry("svc")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(None)
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("tok_bogus")
+
+    def test_accounts_listing(self):
+        registry = AccountRegistry("svc")
+        registry.create_account("b")
+        registry.create_account("a")
+        assert [a.user_id for a in registry.accounts()] == ["a", "b"]
+
+
+class TestRateLimiter:
+    def test_allows_within_limit(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=3, window=1.0), now_fn=lambda: sim.now
+        )
+        for _ in range(3):
+            limiter.check("tok")
+        assert limiter.remaining("tok") == 0
+
+    def test_blocks_over_limit_with_retry_after(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=2, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")
+        limiter.check("tok")
+        with pytest.raises(RateLimitExceededError) as info:
+            limiter.check("tok")
+        assert 0.0 <= info.value.retry_after <= 1.0
+
+    def test_window_slides(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")
+        sim.run_until(1.5)
+        limiter.check("tok")  # must not raise
+
+    def test_tokens_are_independent(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("a")
+        limiter.check("b")  # must not raise
+
+    def test_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateLimit(max_requests=0, window=1.0)
+        with pytest.raises(ConfigurationError):
+            RateLimit(max_requests=1, window=0.0)
+
+
+def make_endpoint_world(processing=0.0):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_region(Region("east"))
+    topo.place_host("client", "east")
+    topo.place_host("api", "east")
+    rng = RandomSource(seed=1)
+    net = Network(sim, LatencyModel(topo, rng.child("net"),
+                                    JitterParams(sigma=0.0)))
+    net.attach("client")
+    accounts = AccountRegistry("svc")
+    endpoint = ServiceEndpoint(
+        sim, net, "api", accounts=accounts,
+        rng=rng.child("endpoint"),
+        processing_delay_median=processing,
+    )
+    account = accounts.create_account("alice")
+    client = ApiClient(net, "client", "api", account.token)
+    return sim, endpoint, client, account
+
+
+def run_and_get(sim, future):
+    sim.run_until(sim.now + 60.0)
+    return future.value
+
+
+class TestEndpointAndClient:
+    def test_round_trip(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        endpoint.route("GET", "/hello",
+                       lambda request, account: {"who": account.user_id})
+        response = run_and_get(sim, client.get("/hello"))
+        assert response.status == 200
+        assert response.body == {"who": "alice"}
+        assert client.requests_sent == 1
+
+    def test_unknown_route_is_400(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        response = run_and_get(sim, client.get("/nowhere"))
+        assert response.status == 400
+
+    def test_bad_token_is_401(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        endpoint.route("GET", "/hello", lambda r, a: {})
+        bad_client = ApiClient(client._network, "client", "api",
+                               "tok_invalid")
+        response = run_and_get(sim, bad_client.get("/hello"))
+        assert response.status == 401
+
+    def test_rate_limited_is_429(self):
+        sim, endpoint, client, account = make_endpoint_world()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=10.0), now_fn=lambda: sim.now
+        )
+        endpoint._rate_limiter = limiter
+        endpoint.route("GET", "/hello", lambda r, a: {})
+        first = client.get("/hello")
+        second = client.get("/hello")
+        sim.run_until(60.0)
+        statuses = sorted([first.value.status, second.value.status])
+        assert statuses == [200, 429]
+
+    def test_service_error_in_handler_maps_to_status(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+
+        def handler(request, account):
+            raise InvalidRequestError("nope")
+
+        endpoint.route("GET", "/hello", handler)
+        response = run_and_get(sim, client.get("/hello"))
+        assert response.status == 400
+        assert response.body["error"] == "nope"
+
+    def test_processing_delay_defers_response(self):
+        sim, endpoint, client, _ = make_endpoint_world(processing=0.5)
+        endpoint.route("GET", "/slow", lambda r, a: {})
+        future = client.get("/slow")
+        resolved_at = []
+        future.add_callback(lambda f: resolved_at.append(sim.now))
+        sim.run_until(60.0)
+        # ~1ms RTT (intra-region) plus the >=0.4s processing delay.
+        assert resolved_at[0] >= 0.4
+
+    def test_handler_returning_future(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        pending = Future()
+
+        def handler(request, account):
+            sim.schedule_after(1.0, pending.resolve, {"late": True})
+            return pending
+
+        endpoint.route("GET", "/async", handler)
+        response = run_and_get(sim, client.get("/async"))
+        assert response.status == 200
+        assert response.body == {"late": True}
+
+    def test_handler_error_in_future_maps_to_status(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        pending = Future()
+
+        def handler(request, account):
+            sim.schedule_after(
+                1.0, pending.fail, InvalidRequestError("late fail")
+            )
+            return pending
+
+        endpoint.route("GET", "/async", handler)
+        response = run_and_get(sim, client.get("/async"))
+        assert response.status == 400
+
+    def test_non_request_payload_is_400(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        response_future = client._network.rpc("client", "api", "garbage")
+        response = run_and_get(sim, response_future)
+        assert response.status == 400
+
+    def test_post_requests_work(self):
+        sim, endpoint, client, _ = make_endpoint_world()
+        endpoint.route(
+            "POST", "/items",
+            lambda request, account: {"id": request.require_param("id")},
+        )
+        response = run_and_get(sim, client.post("/items", {"id": "M1"}))
+        assert response.body == {"id": "M1"}

@@ -1,0 +1,106 @@
+"""Calibration report: measured anomaly signatures vs. the paper's.
+
+Run during development to tune service parameters:
+
+    python tools/calibrate.py [num_tests] [seed] [service ...]
+
+Prints, per service, the per-test-type prevalence of each anomaly next
+to the paper's Figure 3 values, per-pair divergence rates (Figure 8),
+window medians (Figures 9/10), and Table I/II read counts.
+"""
+
+import sys
+import time
+
+from repro.core.anomalies import (
+    ALL_ANOMALIES,
+    CONTENT_DIVERGENCE,
+    ORDER_DIVERGENCE,
+)
+from repro.methodology import CampaignConfig, run_campaign
+
+PAPER = {
+    "googleplus": {
+        "read_your_writes": 0.22, "monotonic_writes": 0.06,
+        "monotonic_reads": 0.25, "writes_follow_reads": 0.10,
+        "content_divergence": 0.85, "order_divergence": 0.14,
+        "reads_test1": 48,
+    },
+    "blogger": {a: 0.0 for a in ALL_ANOMALIES} | {"reads_test1": 11},
+    "facebook_feed": {
+        "read_your_writes": 0.99, "monotonic_writes": 0.89,
+        "monotonic_reads": 0.46, "writes_follow_reads": 0.50,
+        "content_divergence": 0.60, "order_divergence": 1.00,
+        "reads_test1": 14,
+    },
+    "facebook_group": {
+        "read_your_writes": 0.00, "monotonic_writes": 0.93,
+        "monotonic_reads": 0.001, "writes_follow_reads": 0.002,
+        "content_divergence": 0.013, "order_divergence": 0.0,
+        "reads_test1": 11,
+    },
+}
+
+SESSION_TYPE = "test1"
+DIVERGENCE_TYPE = "test2"
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else 40
+    seed = int(args[1]) if len(args) > 1 else 7
+    services = args[2:] or list(PAPER)
+    for service in services:
+        t0 = time.time()
+        result = run_campaign(service, CampaignConfig(
+            num_tests=num_tests, seed=seed,
+        ))
+        elapsed = time.time() - t0
+        print(f"\n=== {service} ({num_tests} tests/type, "
+              f"{elapsed:.1f}s wall) ===")
+        paper = PAPER[service]
+        for anomaly in ALL_ANOMALIES:
+            test_type = (DIVERGENCE_TYPE if "divergence" in anomaly
+                         else SESSION_TYPE)
+            measured = result.prevalence(anomaly, test_type)
+            print(f"  {anomaly:22s} measured={measured:6.2%}  "
+                  f"paper={paper[anomaly]:6.2%}   [{test_type}]")
+        t1 = result.of_type("test1")
+        reads = (sum(sum(r.reads_per_agent.values()) for r in t1)
+                 / (len(t1) * 3))
+        print(f"  reads/agent/test1      measured={reads:6.1f}  "
+              f"paper={paper['reads_test1']:6d}")
+        pair_rates = {}
+        t2 = result.of_type("test2")
+        for record in t2:
+            for pair in record.report.diverged_pairs(CONTENT_DIVERGENCE):
+                pair_rates[pair] = pair_rates.get(pair, 0) + 1
+        print("  content divergence by pair:",
+              {f"{a[:2]}-{b[:2]}": f"{n / len(t2):.0%}"
+               for (a, b), n in sorted(pair_rates.items())})
+        order_rates = {}
+        for record in t2:
+            for pair in record.report.diverged_pairs(ORDER_DIVERGENCE):
+                order_rates[pair] = order_rates.get(pair, 0) + 1
+        print("  order divergence by pair:  ",
+              {f"{a[:2]}-{b[:2]}": f"{n / len(t2):.0%}"
+               for (a, b), n in sorted(order_rates.items())})
+        # Window medians per pair (largest window per test).
+        for label, attr in (("content", "content_windows"),
+                            ("order", "order_windows")):
+            medians = {}
+            for record in t2:
+                for pair, window in getattr(record, attr).items():
+                    if window.largest is not None and window.converged:
+                        medians.setdefault(pair, []).append(
+                            window.largest)
+            shown = {
+                f"{a[:2]}-{b[:2]}":
+                f"{sorted(vals)[len(vals) // 2]:.2f}s(n={len(vals)})"
+                for (a, b), vals in sorted(medians.items())
+            }
+            print(f"  {label} window medians:", shown)
+
+
+if __name__ == "__main__":
+    main()
