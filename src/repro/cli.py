@@ -85,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     sync_cmd.add_argument("--samples", type=int, default=8,
                           help="time queries per estimate")
 
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run the determinism & trace-safety linter over the tree",
+        description=(
+            "AST-based static analysis enforcing that campaigns stay a "
+            "pure function of (seed, config): no ambient randomness, "
+            "no wall-clock reads, no unordered iteration in scheduling "
+            "paths, no trace mutation in anomaly checkers."
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_cmd)
+
     return parser
 
 
@@ -169,6 +183,12 @@ def _cmd_clocksync(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -176,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "report": _cmd_report,
         "clocksync": _cmd_clocksync,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

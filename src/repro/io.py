@@ -36,7 +36,7 @@ __all__ = ["save_campaign", "load_campaign", "SCHEMA_VERSION"]
 SCHEMA_VERSION = 1
 
 
-# -- Serialization -------------------------------------------------------------
+# -- Serialization ------------------------------------------------------
 
 
 def _jsonable(value: Any) -> Any:

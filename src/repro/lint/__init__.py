@@ -1,0 +1,61 @@
+"""``repro.lint`` — AST-based determinism & trace-safety linter.
+
+Every number this reproduction emits — the anomaly prevalences of
+Figs. 3-8, the divergence-window CDFs of Figs. 9-10 — is trustworthy
+only because the simulator is bit-for-bit deterministic under a seed
+and the anomaly checkers are pure observers.  One stray
+``random.random()``, wall-clock read, hash-ordered iteration, or
+in-place trace mutation silently invalidates a whole campaign without
+failing a single test.  This package machine-enforces that contract.
+
+Shipped rules (see ``docs/lint.md`` or ``--list-rules`` for detail):
+
+========  =========  ====================================================
+Code      Severity   Forbids
+========  =========  ====================================================
+DET001    error      direct use of the ``random`` module outside
+                     :mod:`repro.sim.random_source`
+DET002    error      wall-clock/entropy calls inside simulation scopes
+DET003    error      iteration over unordered set expressions in
+                     simulation scopes
+TRACE001  error      anomaly checkers mutating their input traces
+API001    warning    public modules without an explicit ``__all__``
+========  =========  ====================================================
+
+Findings can be waived explicitly with ``# repro-lint: disable=CODE``
+(line) or ``# repro-lint: disable-file=CODE`` (file); the rule set and
+scopes are configured under ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+Run it as ``repro-consistency lint``, ``python -m repro.lint``, or
+programmatically::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src"])
+    assert result.ok, result.findings
+"""
+
+from repro.lint.config import LintConfig, find_pyproject, load_config
+from repro.lint.engine import (
+    LintEngine,
+    LintResult,
+    lint_paths,
+    module_name,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules, get_rule, rule_codes
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "find_pyproject",
+    "LintEngine",
+    "LintResult",
+    "lint_paths",
+    "module_name",
+    "Finding",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rule_codes",
+]

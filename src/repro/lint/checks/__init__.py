@@ -1,0 +1,19 @@
+"""Rule battery: importing this package registers every shipped rule.
+
+Rule modules are grouped by concern:
+
+* :mod:`repro.lint.checks.determinism` — DET001/DET002/DET003, the
+  seed-reproducibility contract.
+* :mod:`repro.lint.checks.trace_safety` — TRACE001, purity of anomaly
+  checkers.
+* :mod:`repro.lint.checks.api` — API001, explicit public surfaces.
+
+Adding a rule means adding a :class:`~repro.lint.rules.Rule` subclass
+decorated with :func:`~repro.lint.rules.register_rule` in one of these
+modules (or a new module imported here) — the engine, CLI, docs
+listing, and JSON schema pick it up automatically.
+"""
+
+from repro.lint.checks import api, determinism, trace_safety
+
+__all__ = ["determinism", "trace_safety", "api"]

@@ -1,0 +1,72 @@
+"""API-surface rule: API001 — public modules must define ``__all__``.
+
+An explicit ``__all__`` is what lets the determinism rules reason about
+module boundaries (the allowlist and scope checks are name-based) and
+keeps ``from module import *`` — and, more importantly, reviewers —
+honest about what a module exports.  Every public module in this
+repository already declares one; the rule keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, Rule, register_rule
+
+__all__ = ["ExplicitAllRule"]
+
+
+def _declares_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "__all__":
+                    return True
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+    return False
+
+
+@register_rule
+class ExplicitAllRule(Rule):
+    """API001 — every public module declares ``__all__`` at top level.
+
+    Modules whose filename starts with an underscore are private and
+    exempt, with two nuances: ``__init__.py`` *is* a package's public
+    face and therefore required to declare ``__all__``, while
+    ``__main__.py`` is an entry-point script with no importable
+    surface and exempt.
+    """
+
+    code = "API001"
+    name = "explicit-all"
+    severity = Severity.WARNING
+    summary = "public modules must declare __all__"
+    rationale = (
+        "Scope- and allowlist-based determinism rules reason about "
+        "module surfaces by name; an implicit export surface hides "
+        "what leaks out of a module and invites accidental coupling "
+        "to simulator internals."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        stem = module.basename.rsplit(".", 1)[0]
+        if stem == "__main__":
+            return
+        if stem.startswith("_") and stem != "__init__":
+            return
+        if not _declares_all(module.tree):
+            yield Finding(
+                path=module.path,
+                line=1,
+                col=0,
+                code=self.code,
+                message=("public module does not declare __all__; "
+                         "state the export surface explicitly"),
+                severity=self.severity,
+            )

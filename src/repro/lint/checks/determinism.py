@@ -1,0 +1,245 @@
+"""Determinism rules: DET001, DET002, DET003.
+
+The simulator's contract (see ``docs/lint.md`` and the module docstring
+of :mod:`repro.sim.random_source`) is that a campaign is a pure
+function of ``(seed, config)``.  These rules catch the three ways that
+contract has historically been broken in measurement harnesses:
+ambient randomness, ambient time, and hash-order-dependent iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, Rule, register_rule
+
+__all__ = [
+    "DirectRandomRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+]
+
+
+@register_rule
+class DirectRandomRule(Rule):
+    """DET001 — no direct use of the global ``random`` module.
+
+    Flags ``import random`` / ``from random import ...`` and any
+    ``random.<attr>`` access, everywhere except the configured
+    allowlist (by default :mod:`repro.sim.random_source`, the one
+    module whose job is to wrap ``random.Random`` in named streams).
+    """
+
+    code = "DET001"
+    name = "direct-random"
+    severity = Severity.ERROR
+    summary = ("use RandomSource streams, never the 'random' module "
+               "directly")
+    rationale = (
+        "Draws from the global 'random' module are invisible to the "
+        "seed-derivation tree: they depend on interpreter-global state "
+        "and on draw ordering across unrelated components, so one "
+        "stray call makes every figure of a campaign irreproducible."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.config.random_allowed(module.module):
+            return
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            module, node,
+                            "direct import of the 'random' module; "
+                            "draw from repro.sim.random_source."
+                            "RandomSource streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and \
+                        node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        module, node,
+                        "import from the 'random' module; draw from "
+                        "repro.sim.random_source.RandomSource streams "
+                        "instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id == "random"):
+                    key = (node.lineno, node.col_offset)
+                    if key not in seen:
+                        seen.add(key)
+                        yield self.finding(
+                            module, node,
+                            f"use of random.{node.attr}; route this "
+                            "draw through a RandomSource stream",
+                        )
+
+
+#: Call targets (resolved to dotted origin names) that read the wall
+#: clock or the OS entropy pool.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "host-monotonic clock read",
+    "time.monotonic_ns": "host-monotonic clock read",
+    "time.perf_counter": "host-performance counter read",
+    "time.perf_counter_ns": "host-performance counter read",
+    "time.localtime": "wall-clock read",
+    "time.gmtime": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "os.getrandom": "OS entropy read",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "entropy-derived UUID",
+}
+
+#: Any call into these modules is banned wholesale.
+_BANNED_MODULE_PREFIXES = ("secrets.",)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _resolve_call(func: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a call's function expression to a dotted origin name."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id, node.id)
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET002 — no wall-clock or entropy reads in simulation scopes.
+
+    Within the configured ``sim-scopes`` packages, calls that reach for
+    host time (``time.time``, ``datetime.now``, ...) or OS entropy
+    (``os.urandom``, ``uuid.uuid4``, ``secrets.*``) are flagged.  The
+    simulator's virtual clock (``Simulator.now`` / ``DriftingClock``)
+    is the only admissible notion of time there.
+    """
+
+    code = "DET002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    summary = ("simulation code must use the virtual clock, never host "
+               "time or OS entropy")
+    rationale = (
+        "The divergence windows of Figs. 9-10 are measured in virtual "
+        "time; a host-clock or entropy read couples results to the "
+        "machine and the wall, so two runs of the same seed stop "
+        "agreeing bit-for-bit."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.config.in_sim_scope(module.module):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve_call(node.func, aliases)
+            if resolved is None:
+                continue
+            reason = _BANNED_CALLS.get(resolved)
+            if reason is None and resolved.startswith(
+                    _BANNED_MODULE_PREFIXES):
+                reason = "OS entropy read"
+            if reason is not None:
+                yield self.finding(
+                    module, node,
+                    f"{resolved}() is a {reason}; simulation code "
+                    "must take time from the Simulator clock and "
+                    "randomness from RandomSource",
+                )
+
+
+def _is_unordered_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+                "difference", "union", "intersection",
+                "symmetric_difference"):
+            return True
+    return False
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """DET003 — no iteration over unordered set expressions.
+
+    Within ``sim-scopes``, a ``for`` loop (or comprehension) whose
+    iterable is a set literal, set comprehension, ``set()`` /
+    ``frozenset()`` call, or a set-algebra method call iterates in
+    ``PYTHONHASHSEED``-dependent order.  Wrap the expression in
+    ``sorted(...)`` to pin the order.
+
+    This is a syntactic heuristic: iteration over a *variable* that
+    happens to hold a set cannot be seen without type inference, so
+    keeping set-typed state out of scheduling paths remains a review
+    concern; the rule catches the common inline cases.
+    """
+
+    code = "DET003"
+    name = "unordered-iteration"
+    severity = Severity.ERROR
+    summary = ("iteration feeding scheduling/trace order must not run "
+               "over an unordered set")
+    rationale = (
+        "Set iteration order depends on insertion history and string "
+        "hashing; when it feeds event scheduling or trace ordering, "
+        "two runs with the same seed can produce different traces "
+        "even though no explicit randomness was used."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.config.in_sim_scope(module.module):
+            return
+        iterables: list[ast.AST] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if _is_unordered_set_expr(iterable):
+                yield self.finding(
+                    module, iterable,
+                    "iteration over an unordered set expression; wrap "
+                    "it in sorted(...) to make the order "
+                    "seed-stable",
+                )

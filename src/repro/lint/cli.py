@@ -1,0 +1,151 @@
+"""Command-line front end: ``python -m repro.lint`` and the
+``repro-consistency lint`` subcommand.
+
+Both entry points share :func:`add_lint_arguments` /
+:func:`run_from_args`, so flags behave identically whichever way the
+linter is invoked.
+
+Exit codes: ``0`` clean (possibly with waived findings), ``1`` at least
+one unwaived finding, ``2`` usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.lint.config import (
+    LintConfig,
+    find_pyproject,
+    load_config,
+)
+from repro.lint.engine import LintEngine
+from repro.lint.reporting import (
+    render_human,
+    render_json,
+    render_rule_list,
+)
+from repro.lint.rules import all_rules, rule_codes
+
+__all__ = ["main", "build_parser", "add_lint_arguments",
+           "run_from_args", "UnknownRuleError"]
+
+
+class UnknownRuleError(ValueError):
+    """Raised for a ``--select``/``--ignore`` code no rule defines.
+
+    A typo'd code must not silently disable the battery and report a
+    false "no findings" — it is a usage error (exit 2).
+    """
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint flags on ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default="", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default="", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--pyproject", default=None, metavar="FILE",
+        help="pyproject.toml to read [tool.repro-lint] from "
+             "(default: nearest above the first PATH)",
+    )
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="also print findings suppressed by waiver comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every registered rule and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & trace-safety linter for the "
+            "consistency reproduction: enforces that campaigns stay "
+            "a pure function of (seed, config)."
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _split_codes(raw: str) -> tuple[str, ...]:
+    codes = tuple(code.strip() for code in raw.split(",")
+                  if code.strip())
+    known = set(rule_codes())
+    unknown = [code for code in codes if code not in known]
+    if unknown:
+        raise UnknownRuleError(
+            f"unknown rule code{'s' if len(unknown) != 1 else ''}: "
+            f"{', '.join(unknown)} (known: {', '.join(sorted(known))})"
+        )
+    return codes
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.pyproject is not None:
+        pyproject = Path(args.pyproject)
+        if not pyproject.is_file():
+            raise FileNotFoundError(f"no such pyproject: {pyproject}")
+    else:
+        pyproject = find_pyproject(Path(args.paths[0]))
+    config = load_config(pyproject)
+    return config.with_overrides(
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+    )
+
+
+def _safe_print(output: str) -> None:
+    """Print without tracebacks when e.g. ``| head`` closed stdout."""
+    try:
+        print(output)
+    except BrokenPipeError:  # pragma: no cover - depends on the pipe
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        _safe_print(render_rule_list(all_rules()))
+        return 0
+    try:
+        config = _resolve_config(args)
+        result = LintEngine(config).lint_paths(args.paths)
+    except (FileNotFoundError, UnknownRuleError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        output = render_json(result)
+    else:
+        output = render_human(result, show_waived=args.show_waived)
+    _safe_print(output)
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_from_args(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

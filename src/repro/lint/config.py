@@ -1,0 +1,271 @@
+"""Lint configuration, loaded from ``[tool.repro-lint]`` in pyproject.
+
+The configuration controls which rules run and where the scoped rules
+apply.  All keys are optional; the defaults encode this repository's
+determinism contract:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    select = ["DET001", "DET002"]        # default: every rule
+    ignore = ["API001"]                  # default: none
+    random-allowlist = ["repro.sim.random_source"]
+    sim-scopes = ["repro.sim", "repro.services", "repro.replication",
+                  "repro.methodology"]
+    trace-scopes = ["repro.core.anomalies"]
+    exclude = ["**/_generated_*.py"]     # glob on posix paths
+
+Parsing uses :mod:`tomllib` where available (Python ≥ 3.11).  On 3.10
+— which this project still supports and CI exercises — a minimal
+built-in TOML subset parser handles the ``[tool.repro-lint]`` table, so
+the linter has zero third-party dependencies everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "find_pyproject",
+    "config_from_table",
+    "parse_minimal_toml_table",
+    "DEFAULT_SIM_SCOPES",
+    "DEFAULT_TRACE_SCOPES",
+    "DEFAULT_RANDOM_ALLOWLIST",
+]
+
+#: Packages whose behaviour feeds simulated scheduling and trace order;
+#: DET002 (wall clock/entropy) and DET003 (unordered iteration) apply
+#: here.
+DEFAULT_SIM_SCOPES = (
+    "repro.sim",
+    "repro.services",
+    "repro.replication",
+    "repro.methodology",
+    "repro.net",
+    "repro.agents",
+)
+
+#: Packages holding anomaly checkers; TRACE001 (no trace mutation)
+#: applies here.
+DEFAULT_TRACE_SCOPES = ("repro.core.anomalies",)
+
+#: Modules allowed to import the stdlib ``random`` module directly.
+DEFAULT_RANDOM_ALLOWLIST = ("repro.sim.random_source",)
+
+
+def _in_scope(module: str, scopes: tuple[str, ...]) -> bool:
+    return any(
+        module == scope or module.startswith(scope + ".")
+        for scope in scopes
+    )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective linter configuration (defaults + pyproject + CLI)."""
+
+    #: Rule codes to run; empty means "every registered rule".
+    select: tuple[str, ...] = ()
+    #: Rule codes to skip even if selected.
+    ignore: tuple[str, ...] = ()
+    sim_scopes: tuple[str, ...] = DEFAULT_SIM_SCOPES
+    trace_scopes: tuple[str, ...] = DEFAULT_TRACE_SCOPES
+    random_allowlist: tuple[str, ...] = DEFAULT_RANDOM_ALLOWLIST
+    #: ``fnmatch`` globs (posix paths) of files to skip entirely.
+    exclude: tuple[str, ...] = ()
+    #: Where the configuration was read from, for diagnostics.
+    source: str = "<defaults>"
+
+    def enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        return not self.select or code in self.select
+
+    def in_sim_scope(self, module: str) -> bool:
+        return _in_scope(module, self.sim_scopes)
+
+    def in_trace_scope(self, module: str) -> bool:
+        return _in_scope(module, self.trace_scopes)
+
+    def random_allowed(self, module: str) -> bool:
+        return _in_scope(module, self.random_allowlist)
+
+    def with_overrides(self, select: tuple[str, ...] = (),
+                       ignore: tuple[str, ...] = ()) -> "LintConfig":
+        """CLI-level ``--select``/``--ignore`` layered on top."""
+        updated = self
+        if select:
+            updated = replace(updated, select=select)
+        if ignore:
+            updated = replace(updated, ignore=updated.ignore + ignore)
+        return updated
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml`` (or defaults)."""
+    if pyproject is None:
+        return LintConfig()
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        table = data.get("tool", {}).get("repro-lint", {})
+    else:  # pragma: no cover - exercised on Python 3.10 only
+        table = parse_minimal_toml_table(text, "tool.repro-lint")
+    return config_from_table(table, source=str(pyproject))
+
+
+def config_from_table(table: dict, source: str = "<table>") -> LintConfig:
+    """Translate one ``[tool.repro-lint]`` table into a config."""
+
+    def strings(key: str, default: tuple[str, ...]) -> tuple[str, ...]:
+        value = table.get(key)
+        if value is None:
+            return default
+        if isinstance(value, str):
+            value = [value]
+        return tuple(str(item) for item in value)
+
+    return LintConfig(
+        select=strings("select", ()),
+        ignore=strings("ignore", ()),
+        sim_scopes=strings("sim-scopes", DEFAULT_SIM_SCOPES),
+        trace_scopes=strings("trace-scopes", DEFAULT_TRACE_SCOPES),
+        random_allowlist=strings(
+            "random-allowlist", DEFAULT_RANDOM_ALLOWLIST
+        ),
+        exclude=strings("exclude", ()),
+        source=source,
+    )
+
+
+# -- Minimal TOML subset parsing (Python 3.10 fallback) -----------------
+
+_HEADER_RE = re.compile(r"^\s*\[\s*([^\]]+?)\s*\]\s*(?:#.*)?$")
+_KEY_RE = re.compile(r"^\s*([A-Za-z0-9_\-\"']+)\s*=\s*(.*)$")
+
+
+def _normalize_header(raw: str) -> str:
+    parts = [part.strip().strip('"').strip("'")
+             for part in raw.split(".")]
+    return ".".join(parts)
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote: str | None = None
+    for char in line:
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#":
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def _parse_scalar(text: str):
+    text = text.strip()
+    if not text:
+        return None
+    if text[0] in ("'", '"'):
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if text.startswith("["):
+        body = text[1:-1]
+        items: list = []
+        current = []
+        quote: str | None = None
+        for char in body:
+            if quote:
+                current.append(char)
+                if char == quote:
+                    quote = None
+            elif char in ("'", '"'):
+                quote = char
+                current.append(char)
+            elif char == ",":
+                items.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+        items.append("".join(current))
+        return [_parse_scalar(item) for item in items
+                if item.strip()]
+    return _parse_scalar(text)
+
+
+def parse_minimal_toml_table(text: str, table_name: str) -> dict:
+    """Extract one flat table from TOML without :mod:`tomllib`.
+
+    Supports exactly what ``[tool.repro-lint]`` needs — string, bool,
+    and numeric scalars plus (possibly multi-line) arrays of them.  It
+    is *not* a general TOML parser; Python ≥ 3.11 always uses
+    :mod:`tomllib` instead.
+    """
+    table: dict = {}
+    in_table = False
+    pending_key: str | None = None
+    pending_value: list[str] = []
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line)
+        header = _HEADER_RE.match(line)
+        if header and pending_key is None:
+            in_table = _normalize_header(header.group(1)) == table_name
+            continue
+        if not in_table:
+            continue
+        if pending_key is not None:
+            pending_value.append(line)
+            joined = " ".join(pending_value)
+            if joined.count("[") <= joined.count("]"):
+                table[pending_key] = _parse_value(joined)
+                pending_key = None
+                pending_value = []
+            continue
+        match = _KEY_RE.match(line)
+        if not match:
+            continue
+        key = match.group(1).strip().strip('"').strip("'")
+        value = match.group(2).strip()
+        if value.startswith("[") and value.count("[") > value.count("]"):
+            pending_key = key
+            pending_value = [value]
+        else:
+            table[key] = _parse_value(value)
+    return table

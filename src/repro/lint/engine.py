@@ -1,0 +1,172 @@
+"""The lint engine: file discovery, parsing, rule dispatch, waivers.
+
+The engine is deliberately boring and deterministic: files are visited
+in sorted path order, rules in sorted code order, and findings are
+emitted sorted by ``(path, line, col, code)`` — so two lint runs over
+the same tree produce byte-identical reports (the linter holds itself
+to the standard it enforces).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path, PurePosixPath
+from typing import Iterator, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ModuleContext, Rule, all_rules
+from repro.lint.waivers import collect_waivers
+
+__all__ = [
+    "LintEngine",
+    "LintResult",
+    "lint_paths",
+    "module_name",
+    "iter_python_files",
+]
+
+#: Code attached to files that fail to parse at all.
+SYNTAX_ERROR_CODE = "SYNTAX"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    #: Unwaived findings, sorted by position.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings suppressed by waiver comments, sorted by position.
+    waived: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unwaived was found."""
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path``, from its ``__init__.py`` chain.
+
+    Walks upward while the parent directory is a package, so
+    ``src/repro/sim/clock.py`` resolves to ``"repro.sim.clock"``
+    regardless of where the source tree is checked out.  A file outside
+    any package is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.stem]
+    return ".".join(reversed(parts))
+
+
+def _display_path(path: Path) -> str:
+    resolved = path.resolve()
+    try:
+        relative = resolved.relative_to(Path.cwd())
+    except ValueError:
+        relative = resolved
+    return str(PurePosixPath(relative))
+
+
+def _excluded(display: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch(display, pattern) for pattern in patterns)
+
+
+def iter_python_files(paths: Sequence[Path],
+                      exclude: Sequence[str] = ()) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` in sorted order."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if not _excluded(_display_path(candidate), exclude):
+                yield candidate
+
+
+class LintEngine:
+    """Runs the enabled rule battery over files and applies waivers."""
+
+    def __init__(self, config: LintConfig | None = None,
+                 rules: Sequence[Rule] | None = None) -> None:
+        self.config = config or LintConfig()
+        candidates = list(rules) if rules is not None else all_rules()
+        self.rules: list[Rule] = [
+            rule for rule in candidates if self.config.enabled(rule.code)
+        ]
+
+    def lint_file(self, path: Path) -> tuple[list[Finding], list[Finding]]:
+        """Lint one file; returns ``(unwaived, waived)`` findings."""
+        display = _display_path(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return ([Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
+            )], [])
+        context = ModuleContext(
+            path=display,
+            module=module_name(path),
+            tree=tree,
+            source=source,
+            config=self.config,
+        )
+        waivers = collect_waivers(source)
+        kept: list[Finding] = []
+        waived: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(context):
+                if waivers.is_waived(finding.line, finding.code):
+                    waived.append(finding.as_waived())
+                else:
+                    kept.append(finding)
+        kept.sort(key=lambda finding: finding.sort_key)
+        waived.sort(key=lambda finding: finding.sort_key)
+        return kept, waived
+
+    def lint_paths(self, paths: Sequence[Path | str]) -> LintResult:
+        """Lint every python file under ``paths``."""
+        result = LintResult()
+        for path in iter_python_files(
+                [Path(p) for p in paths], self.config.exclude):
+            kept, waived = self.lint_file(path)
+            result.findings.extend(kept)
+            result.waived.extend(waived)
+            result.files_checked += 1
+        result.findings.sort(key=lambda finding: finding.sort_key)
+        result.waived.sort(key=lambda finding: finding.sort_key)
+        return result
+
+
+def lint_paths(paths: Sequence[Path | str],
+               config: LintConfig | None = None) -> LintResult:
+    """Convenience: lint ``paths`` with ``config`` (or the defaults)."""
+    return LintEngine(config).lint_paths(paths)

@@ -1,0 +1,107 @@
+"""Rendering lint results for humans and machines.
+
+Human output is one ``path:line:col: CODE message`` line per finding —
+the format editors and CI log scanners already understand — followed by
+a one-line summary.  JSON output (``--format=json``) is a stable,
+versioned schema so downstream tooling (CI annotations, dashboards)
+can consume findings without scraping text:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_checked": 80,
+      "findings": [
+        {"path": "src/repro/replication/eventual.py", "line": 12,
+         "col": 4, "code": "DET001", "severity": "error",
+         "message": "..."}
+      ],
+      "waived": [],
+      "summary": {"total": 1, "waived": 0, "by_rule": {"DET001": 1}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule
+
+__all__ = ["render_human", "render_json", "render_rule_list",
+           "JSON_SCHEMA_VERSION"]
+
+#: Bumped on any backwards-incompatible change to the JSON layout.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: LintResult, *, show_waived: bool = False) -> str:
+    """The default terminal report."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.code} "
+            f"[{finding.severity}] {finding.message}"
+        )
+    if show_waived:
+        for finding in result.waived:
+            lines.append(
+                f"{finding.location()}: {finding.code} [waived] "
+                f"{finding.message}"
+            )
+    total = len(result.findings)
+    summary = (
+        f"checked {result.files_checked} file"
+        f"{'s' if result.files_checked != 1 else ''}: "
+    )
+    if total:
+        per_rule = ", ".join(
+            f"{code} x{count}" for code, count in result.by_rule().items()
+        )
+        summary += f"{total} finding{'s' if total != 1 else ''} ({per_rule})"
+    else:
+        summary += "no findings"
+    if result.waived:
+        summary += f", {len(result.waived)} waived"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "code": finding.code,
+        "severity": str(finding.severity),
+        "message": finding.message,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (sorted keys, stable ordering)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "waived": [_finding_dict(f) for f in result.waived],
+        "summary": {
+            "total": len(result.findings),
+            "waived": len(result.waived),
+            "by_rule": result.by_rule(),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` table: code, severity, summary, rationale."""
+    lines: list[str] = []
+    for rule in rules:
+        lines.append(
+            f"{rule.code}  [{rule.severity}]  {rule.name}: {rule.summary}"
+        )
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)

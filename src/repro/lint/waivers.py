@@ -1,0 +1,106 @@
+"""Waiver comments: ``# repro-lint: disable=RULE``.
+
+A waiver is an *explicit, reviewable* exception to a rule.  Two forms
+are recognised:
+
+* ``# repro-lint: disable=DET001`` — suppresses the named rule(s) for
+  findings anchored to the same physical line.  Multiple codes may be
+  comma-separated; ``disable=all`` suppresses every rule on that line.
+* ``# repro-lint: disable-file=API001`` — suppresses the named rule(s)
+  for the whole file.  Conventionally placed near the top.
+
+Waived findings are not dropped silently: the engine keeps them on a
+separate list so reports can show what was waived and reviewers can
+challenge stale waivers.
+
+Comments are located with :mod:`tokenize` (the AST discards them), so
+waivers inside string literals are never misread as directives.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["WaiverSet", "collect_waivers", "WAIVER_ALL"]
+
+#: Pseudo-code accepted in a waiver comment to mean "every rule".
+WAIVER_ALL = "all"
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class WaiverSet:
+    """All waivers declared in one file."""
+
+    #: line number (1-based) -> rule codes waived on that line.
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rule codes waived for the entire file.
+    file_wide: frozenset[str] = frozenset()
+
+    def is_waived(self, line: int, code: str) -> bool:
+        """Does a waiver cover a finding of ``code`` at ``line``?"""
+        for codes in (self.file_wide, self.by_line.get(line, frozenset())):
+            if code in codes or WAIVER_ALL in codes:
+                return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self.by_line) or bool(self.file_wide)
+
+
+def _parse_comment(comment: str) -> tuple[str, frozenset[str]] | None:
+    match = _WAIVER_RE.search(comment)
+    if match is None:
+        return None
+    codes = frozenset(
+        code.strip() for code in match.group("codes").split(",")
+        if code.strip()
+    )
+    return match.group("kind"), codes
+
+
+def collect_waivers(source: str) -> WaiverSet:
+    """Scan ``source`` for waiver comments.
+
+    Falls back to a plain line scan if tokenisation fails (the engine
+    only calls this for files that already parsed, so that path is
+    defensive).
+    """
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError,
+            IndentationError):  # pragma: no cover - defensive
+        comments = [
+            (index + 1, line)
+            for index, line in enumerate(source.splitlines())
+            if "#" in line
+        ]
+    for line, comment in comments:
+        parsed = _parse_comment(comment)
+        if parsed is None:
+            continue
+        kind, codes = parsed
+        if kind == "disable-file":
+            file_wide.update(codes)
+        else:
+            by_line.setdefault(line, set()).update(codes)
+    return WaiverSet(
+        by_line={line: frozenset(codes) for line, codes in by_line.items()},
+        file_wide=frozenset(file_wide),
+    )

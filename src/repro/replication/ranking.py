@@ -27,14 +27,13 @@ This module implements that semantic:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.replication.ordering import timestamp_key
 from repro.replication.store import VersionedStore
 from repro.sim.event_loop import Simulator
-from repro.sim.random_source import RandomSource, derive_seed
+from repro.sim.random_source import RandomSource
 
 __all__ = ["RankedFeedParams", "RankedFeedStore"]
 
@@ -85,7 +84,6 @@ class RankedFeedStore:
                  params: RankedFeedParams) -> None:
         self._sim = sim
         self._rng = rng
-        self._seed = rng.seed
         self._params = params
         self._store = VersionedStore(
             now_fn=lambda: sim.now, retention=params.retention
@@ -154,10 +152,9 @@ class RankedFeedStore:
         key = (reader, message_id, epoch)
         noise = self._noise_cache.get(key)
         if noise is None:
-            seed = derive_seed(
-                self._seed, f"interest.{reader}.{message_id}.{epoch}"
-            )
-            noise = random.Random(seed).gauss(0.0, self._params.noise_sd)
+            noise = self._rng.ephemeral(
+                f"interest.{reader}.{message_id}.{epoch}"
+            ).gauss(0.0, self._params.noise_sd)
             if len(self._noise_cache) > 16384:
                 # Old epochs are never asked for again.
                 self._noise_cache.clear()

@@ -114,7 +114,8 @@ class AllOf(Future):
 
     __slots__ = ("_pending_count", "_components")
 
-    def __init__(self, futures: Iterable[Future], name: str = "all-of") -> None:
+    def __init__(self, futures: Iterable[Future],
+                 name: str = "all-of") -> None:
         super().__init__(name=name)
         self._components = list(futures)
         self._pending_count = len(self._components)
@@ -145,7 +146,8 @@ class AnyOf(Future):
 
     __slots__ = ("_failure_count", "_components")
 
-    def __init__(self, futures: Iterable[Future], name: str = "any-of") -> None:
+    def __init__(self, futures: Iterable[Future],
+                 name: str = "any-of") -> None:
         super().__init__(name=name)
         self._components = list(futures)
         self._failure_count = 0

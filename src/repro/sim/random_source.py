@@ -72,6 +72,17 @@ class RandomSource:
             self._streams[name] = stream
         return stream
 
+    def ephemeral(self, name: str) -> random.Random:
+        """A fresh, *unmemoized* stream seeded for ``name``.
+
+        Unlike :meth:`stream`, the returned generator is not cached, so
+        call sites that derive a stream per (entity, epoch) pair — e.g.
+        the ranked-feed interest noise — can take one-shot draws without
+        growing the stream table without bound.  Identically named
+        ephemeral and memoized streams produce identical draws.
+        """
+        return random.Random(derive_seed(self._seed, name))
+
     def child(self, name: str) -> "RandomSource":
         """Return a :class:`RandomSource` rooted under ``name``.
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the full static-analysis battery locally, the same way CI does:
+#
+#   tools/lint_all.sh             # lint src/ with repro.lint (+ ruff)
+#   tools/lint_all.sh --format=json src tests
+#
+# Extra arguments are forwarded to `python -m repro.lint`.  The ruff
+# layer (style / import order, configured under [tool.ruff] in
+# pyproject.toml) runs only when ruff is installed — it is optional:
+#
+#   pip install -e ".[lint]"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.lint (determinism & trace-safety) =="
+python -m repro.lint "$@"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (style + import order) =="
+    ruff check src tests
+else
+    echo "== ruff not installed; skipping (pip install -e '.[lint]') =="
+fi
