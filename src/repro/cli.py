@@ -6,9 +6,15 @@ Run a scaled-down campaign against one service and print its summary::
 
     repro-consistency run --service googleplus --tests 50 --seed 7
 
-Regenerate every figure for all four services::
+Regenerate every figure for all four services, on four workers::
 
-    repro-consistency figures --tests 100 --seed 7
+    repro-consistency figures --tests 100 --seed 7 --jobs 4
+
+Run a resumable three-seed replication fleet with a persistent
+artifact store (re-invoking skips completed shards)::
+
+    repro-consistency fleet --services googleplus,blogger \\
+        --replicates 3 --tests 100 --jobs 4 --out artifacts/
 
 Quantify the Cristian clock-sync protocol's accuracy::
 
@@ -77,6 +83,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated service names (default: all four)",
     )
     _add_campaign_args(figures_cmd)
+    _add_fleet_args(figures_cmd)
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="run a parallel, resumable multi-campaign fleet",
+        description=(
+            "Expand services x seeds into independent campaign shards "
+            "and execute them on a worker pool.  Output is "
+            "bit-identical to the serial path for the same spec and "
+            "seeds; with --out, completed shards persist and a "
+            "re-invocation resumes, skipping digest-valid shards."
+        ),
+    )
+    fleet_cmd.add_argument(
+        "--services", default=",".join(SERVICE_NAMES),
+        help="comma-separated service names (default: all four)",
+    )
+    seeds_group = fleet_cmd.add_mutually_exclusive_group()
+    seeds_group.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="explicit comma-separated campaign seeds",
+    )
+    seeds_group.add_argument(
+        "--replicates", type=int, default=None, metavar="N",
+        help="derive N seeds from --seed via the RandomSource "
+             "discipline (default: 3 when --seeds is not given)",
+    )
+    fleet_cmd.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact-store directory (enables checkpoint/resume)",
+    )
+    fleet_cmd.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per shard attempt (workers only)",
+    )
+    fleet_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard progress telemetry",
+    )
+    _add_campaign_args(fleet_cmd)
+    _add_fleet_args(fleet_cmd)
 
     sync_cmd = sub.add_parser(
         "clocksync", help="measure the clock-sync protocol's accuracy"
@@ -108,6 +155,23 @@ def _add_campaign_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--seed", type=int, default=0)
     cmd.add_argument("--gap", type=float, default=15.0,
                      help="virtual cool-down between tests (seconds)")
+
+
+def _add_fleet_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial in-process execution; "
+             "output is bit-identical either way)",
+    )
+
+
+def _parse_services(raw: str) -> tuple[list[str], list[str]]:
+    """Split a --services value; returns (services, unknown)."""
+    services = [name.strip() for name in raw.split(",")
+                if name.strip()]
+    known = set(SERVICE_NAMES + EXTENSION_SERVICE_NAMES)
+    unknown = sorted(set(services) - known)
+    return services, unknown
 
 
 def _config(args: argparse.Namespace) -> CampaignConfig:
@@ -147,17 +211,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    services = [name.strip() for name in args.services.split(",")
-                if name.strip()]
-    unknown = set(services) - set(SERVICE_NAMES)
+    services, unknown = _parse_services(args.services)
     if unknown:
-        print(f"unknown services: {sorted(unknown)}", file=sys.stderr)
+        print(f"unknown services: {unknown}", file=sys.stderr)
         return 2
-    results = {
-        service: run_campaign(service, _config(args))
-        for service in services
-    }
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(services=tuple(services),
+                     base_config=_config(args),
+                     seeds=(args.seed,))
+    outcome = run_fleet(spec, jobs=args.jobs)
+    results = {job.service: result
+               for job, result in zip(outcome.jobs, outcome.results)}
     print(full_report(results))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    services, unknown = _parse_services(args.services)
+    if unknown:
+        print(f"unknown services: {unknown}", file=sys.stderr)
+        return 2
+    from repro.fleet import (
+        FleetSpec,
+        derive_fleet_seeds,
+        render_event,
+        run_fleet,
+    )
+    from repro.methodology import prevalence_statistics
+
+    if args.seeds is not None:
+        seeds = tuple(int(part) for part in args.seeds.split(",")
+                      if part.strip())
+    else:
+        seeds = derive_fleet_seeds(args.seed,
+                                   args.replicates or 3)
+    spec = FleetSpec(services=tuple(services),
+                     base_config=_config(args), seeds=seeds)
+
+    def on_event(event) -> None:
+        line = render_event(event)
+        if line:
+            print(line)
+
+    outcome = run_fleet(
+        spec, jobs=args.jobs, out_dir=args.out,
+        on_event=None if args.quiet else on_event,
+        shard_timeout=args.shard_timeout,
+    )
+
+    print(f"\n== Fleet summary ({len(outcome.results)} campaigns, "
+          f"signature {outcome.signature()[:16]}) ==")
+    for service, results in outcome.by_service().items():
+        print(f"\n{service}: anomaly prevalence over "
+              f"{len(results)} seed(s)")
+        stats = prevalence_statistics(results)
+        for anomaly, entry in stats.items():
+            print(f"  {anomaly:20s} mean {entry.mean:6.3f}  "
+                  f"min {entry.minimum:6.3f}  "
+                  f"max {entry.maximum:6.3f}")
+    if args.out:
+        print(f"\nartifacts stored in {args.out}")
     return 0
 
 
@@ -194,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "figures": _cmd_figures,
+        "fleet": _cmd_fleet,
         "report": _cmd_report,
         "clocksync": _cmd_clocksync,
         "lint": _cmd_lint,

@@ -23,6 +23,7 @@ __all__ = [
     "InvalidRequestError",
     "ConfigurationError",
     "AnalysisError",
+    "FleetError",
 ]
 
 
@@ -106,3 +107,14 @@ class ConfigurationError(ReproError):
 
 class AnalysisError(ReproError):
     """The analysis pipeline was fed inconsistent or incomplete data."""
+
+
+class FleetError(ReproError):
+    """A fleet campaign execution failed.
+
+    Raised by :mod:`repro.fleet` when a shard exhausts its retry
+    budget, a shard's campaign raises (worker failures are determin-
+    istic, so retrying an in-campaign exception cannot succeed), or an
+    artifact store belongs to a different :class:`~repro.fleet.spec.
+    FleetSpec` than the one being executed.
+    """

@@ -1,0 +1,113 @@
+"""Canonical serialization and content digests for fleet artifacts.
+
+Everything the fleet engine persists or compares is reduced to one
+*canonical JSON* encoding — sorted keys, compact separators, tuples
+and dataclasses lowered to deterministic structures — so that equal
+inputs produce byte-identical encodings regardless of construction
+order.  Digests over that encoding are the engine's equality oracle:
+
+* :func:`records_digest` / :func:`campaign_signature` — one campaign's
+  records, used for shard integrity in the artifact store.
+* :func:`fleet_signature` — an ordered fleet outcome, the
+  golden-signature digest that must match between the serial and the
+  parallel execution paths.
+* :func:`spec_digest` — a :class:`~repro.fleet.spec.FleetSpec`, used
+  to bind an artifact store to the spec that filled it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.methodology.runner import CampaignResult, TestRecord
+
+__all__ = [
+    "canonical",
+    "canonical_json",
+    "sha256_hex",
+    "records_digest",
+    "campaign_signature",
+    "fleet_signature",
+    "spec_digest",
+]
+
+
+def canonical(value: Any) -> Any:
+    """Lower ``value`` to a structure with one deterministic encoding.
+
+    Dataclasses carry their type name so two configs of different
+    classes with equal fields never alias; sets are sorted by their
+    canonical encoding (never iterated raw); unknown objects fall back
+    to ``repr`` — dataclass reprs are field-ordered and stable.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        lowered = {
+            field.name: canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        lowered["__dataclass__"] = type(value).__qualname__
+        return lowered
+    if isinstance(value, dict):
+        return {str(key): canonical(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonical(item) for item in value),
+            key=lambda item: json.dumps(item, sort_keys=True),
+        )
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON encoding of ``value`` (sorted, compact)."""
+    return json.dumps(canonical(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of ``text`` encoded as UTF-8."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def records_digest(jsonable_records: Iterable[dict]) -> str:
+    """Digest of an ordered stream of JSON-safe test-record dicts."""
+    hasher = hashlib.sha256()
+    for record in jsonable_records:
+        hasher.update(canonical_json(record).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def campaign_signature(result: "CampaignResult") -> str:
+    """Digest of one campaign's records, in their recorded order."""
+    from repro.io import record_to_dict
+
+    return records_digest(record_to_dict(record)
+                          for record in result.records)
+
+
+def fleet_signature(results: Iterable["CampaignResult"]) -> str:
+    """Golden-signature digest of an ordered sequence of campaigns.
+
+    The serial path (``jobs=1``) and every parallel execution of the
+    same spec must produce the same signature — this is the
+    bit-identity contract the test suite and CI enforce.
+    """
+    hasher = hashlib.sha256()
+    for result in results:
+        hasher.update(campaign_signature(result).encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def spec_digest(spec: Any) -> str:
+    """Digest binding an artifact store to the spec that fills it."""
+    return sha256_hex(canonical_json(spec))

@@ -1,0 +1,373 @@
+"""Deterministic parallel campaign execution.
+
+:func:`run_fleet` executes every shard of a
+:class:`~repro.fleet.spec.FleetSpec` and merges the results back into
+the spec's expansion order.  Three properties make the merged output
+bit-identical to running the same campaigns serially:
+
+1. **Shard purity** — a shard is ``run_campaign(service, config)``
+   with a fully resolved config; it builds its own simulator world
+   from its own seed and shares no state with other shards.
+2. **Value transport** — workers return records through the compact
+   JSON encoding of :mod:`repro.io`, whose round trip is exact for
+   everything the analysis pipeline consumes.
+3. **Ordered merge** — results are keyed by shard index, so worker
+   scheduling (and retries after crashes or timeouts) can reorder
+   *execution* but never *output*.
+
+``jobs=1`` (the default) runs shards in-process with no serialization
+at all — the exact historical ``replicate``/``sweep`` code path —
+while ``jobs>=2`` fans shards out over a worker-process pool with
+per-shard timeouts and a bounded retry budget for worker *crashes*
+(an exception raised inside a campaign is deterministic and fails the
+fleet immediately; re-running it could only fail identically).
+
+With an output directory, completed shards are persisted through the
+:class:`~repro.fleet.store.ArtifactStore` as they finish, and a
+re-invocation against the same directory skips every shard whose
+stored records are digest-valid — checkpoint/resume for free.
+
+The executor itself runs on the host, outside the simulation: its
+wall-clock timeouts and scheduling influence only *when* a shard
+executes, never what it computes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError, FleetError
+from repro.fleet.digest import fleet_signature
+from repro.fleet.events import (
+    EventCallback,
+    FleetCompleted,
+    FleetStarted,
+    ShardCompleted,
+    ShardRetried,
+    ShardSkipped,
+    ShardStarted,
+)
+from repro.fleet.spec import FleetSpec, ShardJob
+from repro.fleet.store import ArtifactStore
+from repro.methodology.runner import CampaignResult
+
+__all__ = ["run_fleet", "execute_shard", "FleetOutcome",
+           "DEFAULT_MAX_RETRIES"]
+
+#: Extra attempts granted to a shard after a worker crash or timeout.
+DEFAULT_MAX_RETRIES = 2
+
+#: A shard runner: ShardJob -> CampaignResult.  Must be picklable
+#: (module-level) to cross the worker-process boundary.
+ShardRunner = Callable[[ShardJob], CampaignResult]
+
+
+def execute_shard(job: ShardJob) -> CampaignResult:
+    """Run one shard: a full campaign, pure in ``(service, config)``."""
+    from repro.methodology.runner import run_campaign
+
+    return run_campaign(job.service, job.config)
+
+
+@dataclass
+class FleetOutcome:
+    """Everything one fleet run produced, in spec merge order."""
+
+    spec: FleetSpec
+    #: The expanded jobs, aligned index-for-index with ``results``.
+    jobs: tuple[ShardJob, ...]
+    results: list[CampaignResult] = field(default_factory=list)
+    #: Shard ids restored from the artifact store instead of executed.
+    skipped: tuple[str, ...] = ()
+    executed: tuple[str, ...] = ()
+    retries: int = 0
+
+    def signature(self) -> str:
+        """The golden-signature digest of the merged results."""
+        return fleet_signature(self.results)
+
+    def by_service(self) -> dict[str, list[CampaignResult]]:
+        """Results grouped by service, preserving merge order."""
+        grouped: dict[str, list[CampaignResult]] = {}
+        for job, result in zip(self.jobs, self.results):
+            grouped.setdefault(job.service, []).append(result)
+        return grouped
+
+
+def run_fleet(spec: FleetSpec, *,
+              jobs: int = 1,
+              out_dir: str | Path | None = None,
+              on_event: EventCallback | None = None,
+              shard_timeout: float | None = None,
+              max_retries: int = DEFAULT_MAX_RETRIES,
+              shard_runner: ShardRunner | None = None) -> FleetOutcome:
+    """Execute every shard of ``spec`` and merge in spec order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  1 (default) executes in-process, exactly
+        like the historical serial path; >= 2 uses a worker pool.
+    out_dir:
+        Artifact-store directory.  Enables persistence and resume:
+        digest-valid completed shards found there are loaded instead
+        of re-run, and newly completed shards are written back as
+        they finish.
+    on_event:
+        Telemetry callback receiving :mod:`repro.fleet.events` events.
+    shard_timeout:
+        Wall-clock seconds one shard attempt may run (workers only);
+        a timed-out worker is terminated and the shard retried.
+    max_retries:
+        Extra attempts per shard after worker crashes/timeouts.
+    shard_runner:
+        Override of :func:`execute_shard`; must be a module-level
+        callable when ``jobs >= 2`` (it crosses the process boundary).
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be >= 0")
+    if jobs > 1 and spec.base_config.keep_traces:
+        raise ConfigurationError(
+            "keep_traces is incompatible with parallel execution: "
+            "full traces are a debugging aid and do not cross the "
+            "worker boundary (run with jobs=1 to keep them)"
+        )
+    runner = shard_runner or execute_shard
+    emit = on_event or (lambda event: None)
+
+    store: ArtifactStore | None = None
+    if out_dir is not None:
+        store = ArtifactStore(out_dir)
+        store.initialize(spec)
+
+    all_jobs = spec.jobs()
+    total = len(all_jobs)
+    results: dict[int, CampaignResult] = {}
+    skipped: list[str] = []
+    pending: list[ShardJob] = []
+    for job in all_jobs:
+        if store is not None and \
+                store.shard_state(job.shard_id) == "complete":
+            results[job.index] = _result_from_records(
+                job, store.load_shard_records(job.shard_id)
+            )
+            skipped.append(job.shard_id)
+        else:
+            pending.append(job)
+
+    emit(FleetStarted(total_shards=total, jobs=jobs,
+                      resumed=len(skipped)))
+    skipped_ids = set(skipped)
+    for job in all_jobs:
+        if job.shard_id in skipped_ids:
+            emit(_shard_event(ShardSkipped, job, total,
+                              reason="complete in store"))
+
+    retries = 0
+    if jobs == 1:
+        _run_serial(pending, runner, store, emit, total, results)
+    else:
+        retries = _run_parallel(
+            pending, jobs, runner, store, emit, total, results,
+            shard_timeout, max_retries,
+        )
+
+    merged = [results[job.index] for job in all_jobs]
+    executed = tuple(job.shard_id for job in pending)
+    emit(FleetCompleted(executed=len(executed), skipped=len(skipped),
+                        retries=retries))
+    return FleetOutcome(
+        spec=spec, jobs=tuple(all_jobs), results=merged,
+        skipped=tuple(skipped), executed=executed, retries=retries,
+    )
+
+
+# -- Shared helpers -----------------------------------------------------
+
+
+def _shard_event(cls, job: ShardJob, total: int, **extra):
+    return cls(shard_id=job.shard_id, index=job.index, total=total,
+               service=job.service, seed=job.seed, label=job.label,
+               **extra)
+
+
+def _result_from_records(job: ShardJob,
+                         jsonable_records: list[dict]) -> CampaignResult:
+    from repro.io import record_from_dict
+
+    result = CampaignResult(service=job.service, config=job.config)
+    result.records.extend(record_from_dict(record, job.service)
+                          for record in jsonable_records)
+    return result
+
+
+def _records_to_jsonable(result: CampaignResult) -> list[dict]:
+    from repro.io import record_to_dict
+
+    return [record_to_dict(record) for record in result.records]
+
+
+# -- Serial path --------------------------------------------------------
+
+
+def _run_serial(pending: list[ShardJob], runner: ShardRunner,
+                store: ArtifactStore | None, emit, total: int,
+                results: dict[int, CampaignResult]) -> None:
+    """In-process execution: the exact historical serial code path.
+
+    Results stay live objects (no serialization round trip), so
+    ``keep_traces`` campaigns retain their traces and an exception
+    inside a campaign propagates unwrapped.
+    """
+    for job in pending:
+        emit(_shard_event(ShardStarted, job, total, attempt=1))
+        result = runner(job)
+        if store is not None:
+            store.write_shard(job, _records_to_jsonable(result))
+        results[job.index] = result
+        emit(_shard_event(ShardCompleted, job, total, attempts=1,
+                          records=len(result.records)))
+
+
+# -- Parallel path ------------------------------------------------------
+
+
+def _shard_worker(conn, runner: ShardRunner, job: ShardJob) -> None:
+    """Worker-process entry point: run one shard, ship its records."""
+    try:
+        result = runner(job)
+        payload = {"ok": True,
+                   "records": _records_to_jsonable(result)}
+    except BaseException:
+        payload = {"ok": False, "error": traceback.format_exc()}
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits the loaded package); fall back."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class _Running:
+    job: ShardJob
+    attempt: int
+    process: object
+    deadline: float | None
+
+
+def _run_parallel(pending: list[ShardJob], jobs: int,
+                  runner: ShardRunner, store: ArtifactStore | None,
+                  emit, total: int,
+                  results: dict[int, CampaignResult],
+                  shard_timeout: float | None,
+                  max_retries: int) -> int:
+    ctx = _mp_context()
+    queue: deque[tuple[ShardJob, int]] = deque(
+        (job, 1) for job in pending
+    )
+    running: dict[object, _Running] = {}
+    retries = 0
+
+    def fail_or_retry(entry: _Running, reason: str) -> None:
+        nonlocal retries
+        if entry.attempt > max_retries:
+            raise FleetError(
+                f"shard {entry.job.shard_id!r} failed after "
+                f"{entry.attempt} attempts: {reason}"
+            )
+        retries += 1
+        emit(_shard_event(ShardRetried, entry.job, total,
+                          attempt=entry.attempt + 1, reason=reason))
+        queue.appendleft((entry.job, entry.attempt + 1))
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                job, attempt = queue.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_shard_worker, args=(send, runner, job),
+                    name=f"fleet-{job.shard_id}", daemon=True,
+                )
+                process.start()
+                send.close()
+                deadline = (time.monotonic() + shard_timeout
+                            if shard_timeout is not None else None)
+                running[recv] = _Running(job, attempt, process,
+                                         deadline)
+                emit(_shard_event(ShardStarted, job, total,
+                                  attempt=attempt))
+
+            # Wake on result/EOF, or in time to enforce a deadline.
+            poll = 0.5
+            now = time.monotonic()
+            deadlines = [entry.deadline for entry in running.values()
+                         if entry.deadline is not None]
+            if deadlines:
+                poll = max(0.0, min(poll,
+                                    min(deadlines) - now))
+            ready = connection.wait(list(running), timeout=poll)
+
+            for conn in ready:
+                entry = running.pop(conn)
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = None
+                conn.close()
+                entry.process.join()
+                if payload is None:
+                    fail_or_retry(entry, "worker crashed (exit code "
+                                  f"{entry.process.exitcode})")
+                elif payload["ok"]:
+                    result = _result_from_records(entry.job,
+                                                  payload["records"])
+                    if store is not None:
+                        store.write_shard(entry.job,
+                                          payload["records"])
+                    results[entry.job.index] = result
+                    emit(_shard_event(
+                        ShardCompleted, entry.job, total,
+                        attempts=entry.attempt,
+                        records=len(result.records),
+                    ))
+                else:
+                    # A campaign exception is a pure function of the
+                    # shard: retrying cannot change the outcome.
+                    raise FleetError(
+                        f"shard {entry.job.shard_id!r} campaign "
+                        f"failed:\n{payload['error']}"
+                    )
+
+            now = time.monotonic()
+            for conn, entry in list(running.items()):
+                if entry.deadline is not None and now > entry.deadline:
+                    running.pop(conn)
+                    entry.process.terminate()
+                    entry.process.join()
+                    conn.close()
+                    fail_or_retry(
+                        entry,
+                        f"timed out after {shard_timeout:.1f}s",
+                    )
+    finally:
+        for entry in running.values():
+            entry.process.terminate()
+            entry.process.join()
+    return retries

@@ -1,0 +1,213 @@
+"""Persistent artifact store: shard records + campaign manifest.
+
+Layout under one output directory::
+
+    <root>/
+      manifest.json           # spec hash + per-shard status/digests
+      shards/
+        0000_blogger_s1.jsonl # one canonical-JSON record per line
+
+Each shard file is the JSONL stream of its campaign's test records
+(the :func:`repro.io.record_to_dict` encoding, one canonical-JSON
+line per record).  The manifest binds the store to one
+:class:`~repro.fleet.spec.FleetSpec` via its spec hash and records,
+per shard, a completion status and the SHA-256 digest of the shard
+file's bytes.
+
+That digest is what makes checkpoint/resume safe: a shard counts as
+done only if its manifest entry says ``complete`` *and* the file on
+disk still hashes to the recorded digest.  Anything else — missing
+entry, missing file, truncated or tampered bytes — classifies the
+shard as work to (re)do.  Manifest updates go through a
+write-to-temp-then-rename so a kill mid-update can never leave a
+half-written manifest claiming shards it does not have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import FleetError
+from repro.fleet.digest import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.spec import FleetSpec, ShardJob
+
+__all__ = ["ArtifactStore", "STORE_VERSION", "MANIFEST_NAME"]
+
+STORE_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def _file_digest(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            hasher.update(chunk)
+    return f"sha256:{hasher.hexdigest()}"
+
+
+class ArtifactStore:
+    """One fleet run's on-disk artifacts, with resume bookkeeping."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._manifest: dict | None = None
+
+    # -- Paths ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    def shard_path(self, shard_id: str) -> Path:
+        return self.shards_dir / f"{shard_id}.jsonl"
+
+    # -- Manifest -------------------------------------------------------
+
+    def _load_manifest(self) -> dict | None:
+        if not self.manifest_path.is_file():
+            return None
+        try:
+            manifest = json.loads(self.manifest_path.read_text(
+                encoding="utf-8"
+            ))
+        except (OSError, ValueError) as exc:
+            raise FleetError(
+                f"unreadable fleet manifest {self.manifest_path}: {exc}"
+            ) from exc
+        version = manifest.get("store_version")
+        if version != STORE_VERSION:
+            raise FleetError(
+                f"unsupported fleet store version {version!r} in "
+                f"{self.manifest_path} (expected {STORE_VERSION})"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        assert self._manifest is not None
+        self.root.mkdir(parents=True, exist_ok=True)
+        temp = self.manifest_path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(self._manifest, indent=1, sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(temp, self.manifest_path)
+
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            loaded = self._load_manifest()
+            if loaded is None:
+                raise FleetError(
+                    f"fleet store {self.root} has no manifest; call "
+                    "initialize(spec) first"
+                )
+            self._manifest = loaded
+        return self._manifest
+
+    @property
+    def spec_hash(self) -> str:
+        return self.manifest["spec_hash"]
+
+    def initialize(self, spec: "FleetSpec") -> None:
+        """Bind the store to ``spec``, creating or validating it.
+
+        A fresh directory gets a new manifest; an existing store must
+        have been created by a spec with the same hash, otherwise its
+        shards would be silently misattributed to the wrong campaigns.
+        """
+        existing = self._load_manifest()
+        spec_hash = spec.spec_hash()
+        if existing is not None:
+            if existing["spec_hash"] != spec_hash:
+                raise FleetError(
+                    f"fleet store {self.root} belongs to spec "
+                    f"{existing['spec_hash'][:12]}..., not "
+                    f"{spec_hash[:12]}...; use a fresh output "
+                    "directory per spec"
+                )
+            self._manifest = existing
+            return
+        self._manifest = {
+            "store_version": STORE_VERSION,
+            "spec_hash": spec_hash,
+            "services": list(spec.services),
+            "seeds": list(spec.seeds),
+            "total_shards": spec.total_shards,
+            "shards": {},
+        }
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self._write_manifest()
+
+    # -- Shard records --------------------------------------------------
+
+    def write_shard(self, job: "ShardJob",
+                    jsonable_records: Iterable[dict]) -> str:
+        """Persist one completed shard; returns the recorded digest.
+
+        The shard file is written in full before the manifest entry is
+        committed, so an interruption between the two leaves the shard
+        classified ``missing`` (no entry), never falsely complete.
+        """
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(job.shard_id)
+        records = list(jsonable_records)
+        lines = [canonical_json(record) for record in records]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""),
+                        encoding="utf-8")
+        digest = _file_digest(path)
+        self.manifest["shards"][job.shard_id] = {
+            "status": "complete",
+            "digest": digest,
+            "records": len(records),
+            "service": job.service,
+            "seed": job.seed,
+            "label": job.label,
+        }
+        self._write_manifest()
+        return digest
+
+    def shard_state(self, shard_id: str) -> str:
+        """``complete`` | ``missing`` | ``corrupt`` for one shard.
+
+        ``corrupt`` means the manifest claims completion but the bytes
+        on disk no longer hash to the recorded digest (truncated write,
+        tampering, partial copy); the executor re-runs such shards.
+        """
+        entry = self.manifest["shards"].get(shard_id)
+        if entry is None or entry.get("status") != "complete":
+            return "missing"
+        path = self.shard_path(shard_id)
+        if not path.is_file():
+            return "missing"
+        if _file_digest(path) != entry.get("digest"):
+            return "corrupt"
+        return "complete"
+
+    def completed_shards(self) -> list[str]:
+        """Shard ids that are complete *and* digest-valid, sorted."""
+        return sorted(
+            shard_id for shard_id in self.manifest["shards"]
+            if self.shard_state(shard_id) == "complete"
+        )
+
+    def load_shard_records(self, shard_id: str) -> list[dict]:
+        """The JSON-safe record dicts of one digest-valid shard."""
+        state = self.shard_state(shard_id)
+        if state != "complete":
+            raise FleetError(
+                f"shard {shard_id!r} is {state} in store {self.root}"
+            )
+        path = self.shard_path(shard_id)
+        with path.open("r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle
+                    if line.strip()]

@@ -31,7 +31,13 @@ from repro.errors import AnalysisError
 from repro.methodology.config import CampaignConfig
 from repro.methodology.runner import CampaignResult, TestRecord
 
-__all__ = ["save_campaign", "load_campaign", "SCHEMA_VERSION"]
+__all__ = [
+    "save_campaign",
+    "load_campaign",
+    "record_to_dict",
+    "record_from_dict",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA_VERSION = 1
 
@@ -86,6 +92,22 @@ def _record_to_dict(record: TestRecord) -> dict:
         "writes_per_agent": dict(record.writes_per_agent),
         "duration": record.duration,
     }
+
+
+def record_to_dict(record: TestRecord) -> dict:
+    """Serialize one :class:`TestRecord` to a JSON-safe dict.
+
+    The inverse of :func:`record_from_dict`; the round trip is exact
+    for everything the analysis pipeline consumes (full traces are
+    never serialized).  The fleet artifact store persists shards as
+    JSONL streams of these dicts.
+    """
+    return _record_to_dict(record)
+
+
+def record_from_dict(data: dict, service: str) -> TestRecord:
+    """Rebuild a :class:`TestRecord` from :func:`record_to_dict` output."""
+    return _record_from_dict(data, service)
 
 
 def save_campaign(result: CampaignResult, path: str | Path) -> Path:

@@ -1,10 +1,11 @@
-"""Determinism rules: DET001, DET002, DET003.
+"""Determinism rules: DET001, DET002, DET003, DET004.
 
 The simulator's contract (see ``docs/lint.md`` and the module docstring
 of :mod:`repro.sim.random_source`) is that a campaign is a pure
-function of ``(seed, config)``.  These rules catch the three ways that
+function of ``(seed, config)``.  These rules catch the four ways that
 contract has historically been broken in measurement harnesses:
-ambient randomness, ambient time, and hash-order-dependent iteration.
+ambient randomness, ambient time, hash-order-dependent iteration, and
+order-sensitive float accumulation over unordered collections.
 """
 
 from __future__ import annotations
@@ -13,12 +14,13 @@ import ast
 from typing import Iterator
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import ModuleContext, Rule, register_rule
+from repro.lint.rules import ModuleContext, Rule, register_rule, root_name
 
 __all__ = [
     "DirectRandomRule",
     "WallClockRule",
     "UnorderedIterationRule",
+    "UnorderedReductionRule",
 ]
 
 
@@ -242,4 +244,104 @@ class UnorderedIterationRule(Rule):
                     "iteration over an unordered set expression; wrap "
                     "it in sorted(...) to make the order "
                     "seed-stable",
+                )
+
+
+#: Reduction calls whose float result depends on accumulation order
+#: (resolved to dotted origin names, import aliases honoured).
+_REDUCTION_CALLS = frozenset({
+    "sum",
+    "math.fsum",
+    "statistics.mean",
+    "statistics.fmean",
+    "statistics.geometric_mean",
+    "statistics.harmonic_mean",
+    "statistics.stdev",
+    "statistics.pstdev",
+    "statistics.variance",
+    "statistics.pvariance",
+})
+
+
+def _is_shard_keyed_view(node: ast.AST) -> bool:
+    """A ``.values()``/``.keys()``/``.items()`` view of a shard dict.
+
+    Shard-keyed dicts are filled in completion order by the fleet
+    executor, so their view order is a worker-scheduling artifact;
+    the receiver is recognized by name (any root identifier
+    containing "shard").
+    """
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys", "items")):
+        return False
+    root = root_name(node.func.value)
+    return root is not None and "shard" in root.lower()
+
+
+def _unordered_reduction_source(arg: ast.AST) -> str | None:
+    """Why ``arg`` feeds a reduction in unstable order (None = it
+    doesn't, as far as the syntax shows)."""
+    if _is_unordered_set_expr(arg):
+        return "an unordered set expression"
+    if _is_shard_keyed_view(arg):
+        return "a shard-keyed dict view"
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        for generator in arg.generators:
+            if _is_unordered_set_expr(generator.iter):
+                return "a comprehension over an unordered set"
+            if _is_shard_keyed_view(generator.iter):
+                return "a comprehension over a shard-keyed dict view"
+    return None
+
+
+@register_rule
+class UnorderedReductionRule(Rule):
+    """DET004 — no float reductions over unordered collections.
+
+    Within the configured ``aggregation-scopes``, flags calls to
+    order-sensitive reductions (``sum``, ``math.fsum``,
+    ``statistics.mean``/``stdev``/..., import aliases resolved) whose
+    iterable is an unordered set expression, a ``.values()`` /
+    ``.keys()`` / ``.items()`` view of a shard-keyed dict (receiver
+    name containing "shard"), or a comprehension drawing from either.
+
+    Like DET003, this is a syntactic heuristic: a reduction over a
+    *variable* that happens to hold a set cannot be seen without type
+    inference.  It catches the inline cases that actually appear in
+    merge and aggregation code.
+    """
+
+    code = "DET004"
+    name = "unordered-reduction"
+    severity = Severity.ERROR
+    summary = ("float reductions in merge/aggregation paths must run "
+               "over explicitly ordered sequences")
+    rationale = (
+        "Float addition is not associative: summing the same shard "
+        "results in a different order changes the low bits, so a "
+        "reduction over a set or over a dict populated in worker-"
+        "completion order breaks the fleet's bit-identical merge "
+        "contract even though every input value is identical."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.config.in_aggregation_scope(module.module):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            resolved = _resolve_call(node.func, aliases)
+            if resolved not in _REDUCTION_CALLS:
+                continue
+            reason = _unordered_reduction_source(node.args[0])
+            if reason is not None:
+                name = resolved.rsplit(".", 1)[-1]
+                yield self.finding(
+                    module, node,
+                    f"{name}() over {reason}; accumulation order is "
+                    "not seed-stable — reduce over an explicitly "
+                    "ordered sequence (sorted(...) or the spec's "
+                    "shard order) instead",
                 )

@@ -41,6 +41,7 @@ __all__ = [
     "DEFAULT_SIM_SCOPES",
     "DEFAULT_TRACE_SCOPES",
     "DEFAULT_RANDOM_ALLOWLIST",
+    "DEFAULT_AGGREGATION_SCOPES",
 ]
 
 #: Packages whose behaviour feeds simulated scheduling and trace order;
@@ -62,6 +63,17 @@ DEFAULT_TRACE_SCOPES = ("repro.core.anomalies",)
 #: Modules allowed to import the stdlib ``random`` module directly.
 DEFAULT_RANDOM_ALLOWLIST = ("repro.sim.random_source",)
 
+#: Packages whose merge/aggregation paths fold shard or campaign
+#: results into reported numbers; DET004 (float reductions over
+#: unordered collections) applies here.  A superset of the sim scopes:
+#: the fleet engine, the persistence layer, and the analysis pipeline
+#: aggregate results without being simulation code themselves.
+DEFAULT_AGGREGATION_SCOPES = DEFAULT_SIM_SCOPES + (
+    "repro.fleet",
+    "repro.analysis",
+    "repro.io",
+)
+
 
 def _in_scope(module: str, scopes: tuple[str, ...]) -> bool:
     return any(
@@ -81,6 +93,7 @@ class LintConfig:
     sim_scopes: tuple[str, ...] = DEFAULT_SIM_SCOPES
     trace_scopes: tuple[str, ...] = DEFAULT_TRACE_SCOPES
     random_allowlist: tuple[str, ...] = DEFAULT_RANDOM_ALLOWLIST
+    aggregation_scopes: tuple[str, ...] = DEFAULT_AGGREGATION_SCOPES
     #: ``fnmatch`` globs (posix paths) of files to skip entirely.
     exclude: tuple[str, ...] = ()
     #: Where the configuration was read from, for diagnostics.
@@ -96,6 +109,9 @@ class LintConfig:
 
     def in_trace_scope(self, module: str) -> bool:
         return _in_scope(module, self.trace_scopes)
+
+    def in_aggregation_scope(self, module: str) -> bool:
+        return _in_scope(module, self.aggregation_scopes)
 
     def random_allowed(self, module: str) -> bool:
         return _in_scope(module, self.random_allowlist)
@@ -154,6 +170,9 @@ def config_from_table(table: dict, source: str = "<table>") -> LintConfig:
         trace_scopes=strings("trace-scopes", DEFAULT_TRACE_SCOPES),
         random_allowlist=strings(
             "random-allowlist", DEFAULT_RANDOM_ALLOWLIST
+        ),
+        aggregation_scopes=strings(
+            "aggregation-scopes", DEFAULT_AGGREGATION_SCOPES
         ),
         exclude=strings("exclude", ()),
         source=source,

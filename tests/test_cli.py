@@ -49,6 +49,58 @@ class TestCommands:
         assert code == 2
         assert "unknown services" in capsys.readouterr().err
 
+    def test_figures_accepts_extension_service(self, capsys):
+        # The run subcommand accepts extension services; figures must
+        # not reject them.
+        code = main(["figures", "--services", "quorum_kv",
+                     "--tests", "2", "--seed", "1"])
+        assert code == 0
+        assert "quorum_kv" in capsys.readouterr().out
+
+    def test_figures_parallel_matches_serial(self, capsys):
+        code = main(["figures", "--services", "blogger,googleplus",
+                     "--tests", "2", "--seed", "1"])
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        code = main(["figures", "--services", "blogger,googleplus",
+                     "--tests", "2", "--seed", "1", "--jobs", "2"])
+        assert code == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_fleet_runs_and_resumes(self, capsys, tmp_path):
+        argv = ["fleet", "--services", "blogger", "--seeds", "1,2",
+                "--tests", "2", "--jobs", "2",
+                "--out", str(tmp_path / "store")]
+        code = main(argv)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 shards on 2 worker(s)" in out
+        assert "Fleet summary" in out
+        assert "read_your_writes" in out
+        signature = [line for line in out.splitlines()
+                     if "signature" in line]
+        code = main(argv)
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "2 resumed from store" in resumed
+        assert "skipped: complete in store" in resumed
+        assert "(0 executed, 2 skipped, 0 retries)" in resumed
+        assert [line for line in resumed.splitlines()
+                if "signature" in line] == signature
+
+    def test_fleet_derives_seeds(self, capsys):
+        code = main(["fleet", "--services", "blogger",
+                     "--replicates", "2", "--tests", "2", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet:" not in out  # telemetry suppressed
+        assert "anomaly prevalence over 2 seed(s)" in out
+
+    def test_fleet_rejects_unknown_service(self, capsys):
+        code = main(["fleet", "--services", "myspace", "--tests", "2"])
+        assert code == 2
+        assert "unknown services" in capsys.readouterr().err
+
     def test_run_with_output_then_report(self, capsys, tmp_path):
         saved = tmp_path / "blogger.json"
         code = main(["run", "--service", "blogger", "--tests", "2",

@@ -35,8 +35,9 @@ from repro.lint.waivers import collect_waivers
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-#: Rules shipped with this PR; the registry must contain all of them.
-SHIPPED_RULES = ("DET001", "DET002", "DET003", "TRACE001", "API001")
+#: Rules shipped so far; the registry must contain all of them.
+SHIPPED_RULES = ("DET001", "DET002", "DET003", "DET004", "TRACE001",
+                 "API001")
 
 
 def lint_snippet(tmp_path, source, *, filename="mod.py", config=None):
@@ -53,6 +54,7 @@ def codes(findings):
 
 SIM_CFG = LintConfig(sim_scopes=("mod",))
 TRACE_CFG = LintConfig(trace_scopes=("mod",))
+AGG_CFG = LintConfig(aggregation_scopes=("mod",))
 
 
 class TestRegistry:
@@ -257,6 +259,83 @@ class TestDET003:
                 return [item for item in set(items)]
         """, config=LintConfig(sim_scopes=("somewhere.else",)))
         assert "DET003" not in codes(kept)
+
+
+class TestDET004:
+    @pytest.mark.parametrize("call", [
+        "sum({a, b})",
+        "sum(set(values))",
+        "sum(v * v for v in set(values))",
+        "sum(by_shard.values())",
+        "sum(shard_results.values())",
+        "sum(w.mean for w in shards.values())",
+        "fsum(set(values))",
+        "mean(set(values))",
+    ])
+    def test_flags_unordered_reductions(self, tmp_path, call):
+        kept, _ = lint_snippet(tmp_path, f"""\
+            from math import fsum
+            from statistics import mean
+
+            __all__ = ["merge"]
+
+
+            def merge(a, b, values, by_shard, shard_results, shards):
+                return {call}
+        """, config=AGG_CFG)
+        det = [f for f in kept if f.code == "DET004"]
+        assert len(det) == 1
+        assert det[0].line == 8
+
+    def test_resolves_import_aliases(self, tmp_path):
+        kept, _ = lint_snippet(tmp_path, """\
+            import statistics as st
+
+            __all__ = ["merge"]
+
+
+            def merge(values):
+                return st.fmean(set(values))
+        """, config=AGG_CFG)
+        assert "DET004" in codes(kept)
+
+    @pytest.mark.parametrize("call", [
+        "sum(values)",
+        "sum(sorted(set(values)))",
+        "sum(sorted(by_shard.values()))",
+        "sum(results.values())",
+        "min(set(values))",
+        "len(set(values))",
+    ])
+    def test_ordered_or_insensitive_reductions_pass(self, tmp_path,
+                                                    call):
+        kept, _ = lint_snippet(tmp_path, f"""\
+            __all__ = ["merge"]
+
+
+            def merge(values, by_shard, results):
+                return {call}
+        """, config=AGG_CFG)
+        assert "DET004" not in codes(kept)
+
+    def test_out_of_scope_not_flagged(self, tmp_path):
+        kept, _ = lint_snippet(tmp_path, """\
+            __all__ = ["merge"]
+
+
+            def merge(values):
+                return sum(set(values))
+        """, config=LintConfig(
+            aggregation_scopes=("somewhere.else",)))
+        assert "DET004" not in codes(kept)
+
+    def test_aggregation_scope_defaults_cover_merge_layers(self):
+        config = LintConfig()
+        assert config.in_aggregation_scope("repro.fleet.executor")
+        assert config.in_aggregation_scope("repro.analysis.cdf")
+        assert config.in_aggregation_scope("repro.io")
+        assert config.in_aggregation_scope("repro.methodology.sweep")
+        assert not config.in_aggregation_scope("repro.lint.engine")
 
 
 class TestTRACE001:

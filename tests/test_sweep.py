@@ -23,12 +23,26 @@ class TestReplicate:
         assert [r.config.seed for r in results] == [1, 2, 3]
 
     def test_same_seed_reproduces(self):
-        a, b = replicate("googleplus", SMALL, seeds=[5, 5])
+        (a,) = replicate("googleplus", SMALL, seeds=[5])
+        (b,) = replicate("googleplus", SMALL, seeds=[5])
         assert a.summary() == b.summary()
 
     def test_empty_seeds_rejected(self):
         with pytest.raises(ConfigurationError):
             replicate("blogger", SMALL, seeds=[])
+
+    def test_duplicate_seeds_rejected(self):
+        # A duplicated seed re-runs the identical campaign and skews
+        # prevalence_statistics sample counts.
+        with pytest.raises(ConfigurationError,
+                           match=r"duplicate seeds \[5\]"):
+            replicate("googleplus", SMALL, seeds=[5, 5])
+
+    def test_parallel_replicate_matches_serial(self):
+        serial = replicate("blogger", SMALL, seeds=[1, 2])
+        parallel = replicate("blogger", SMALL, seeds=[1, 2], jobs=2)
+        assert [r.summary() for r in parallel] == \
+            [r.summary() for r in serial]
 
 
 class TestSweep:

@@ -1,0 +1,83 @@
+"""CI gate: a 2-worker fleet must be bit-identical to a serial run.
+
+Runs a small replicate fleet three ways — serial in-process, on two
+worker processes, and resumed from the parallel run's artifact store —
+and asserts the golden-signature digests and per-anomaly prevalence
+statistics all agree, and that the resume executed zero shards.
+
+    python tools/fleet_parity_check.py [num_tests] [seed]
+
+Exit code 0 on parity, 1 with a diagnostic on any mismatch.
+"""
+
+import sys
+import tempfile
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.methodology import CampaignConfig, prevalence_statistics
+
+SERVICES = ("blogger", "googleplus")
+
+
+def prevalences(outcome):
+    table = {}
+    for service, results in outcome.by_service().items():
+        stats = prevalence_statistics(results)
+        table[service] = {anomaly: entry.mean
+                          for anomaly, entry in stats.items()}
+    return table
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else 4
+    seed = int(args[1]) if len(args) > 1 else 11
+    spec = FleetSpec(
+        services=SERVICES,
+        base_config=CampaignConfig(num_tests=num_tests, seed=seed,
+                                   test_types=("test1",)),
+        seeds=(seed, seed + 1),
+    )
+
+    serial = run_fleet(spec)
+    with tempfile.TemporaryDirectory() as store:
+        parallel = run_fleet(spec, jobs=2, out_dir=store)
+        resumed = run_fleet(spec, jobs=2, out_dir=store)
+
+    failures = []
+    if parallel.signature() != serial.signature():
+        failures.append(
+            f"signature mismatch: serial {serial.signature()} "
+            f"!= parallel {parallel.signature()}"
+        )
+    if resumed.signature() != serial.signature():
+        failures.append(
+            f"signature mismatch: serial {serial.signature()} "
+            f"!= resumed {resumed.signature()}"
+        )
+    if resumed.executed or len(resumed.skipped) != spec.total_shards:
+        failures.append(
+            f"resume re-ran shards: executed={resumed.executed!r} "
+            f"skipped={len(resumed.skipped)}/{spec.total_shards}"
+        )
+    if prevalences(parallel) != prevalences(serial):
+        failures.append(
+            f"prevalence mismatch:\n  serial   {prevalences(serial)}"
+            f"\n  parallel {prevalences(parallel)}"
+        )
+
+    shards = spec.total_shards
+    if failures:
+        print(f"fleet parity check FAILED ({shards} shards):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"fleet parity check passed: {shards} shards, "
+          f"serial == 2-worker == resumed "
+          f"(signature {serial.signature()[:16]}), "
+          f"resume skipped all {len(resumed.skipped)} shards")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
