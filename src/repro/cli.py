@@ -65,7 +65,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="FILE",
         help="save the campaign's records as JSON for later analysis",
     )
+    run_cmd.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="append every operation to a trace-event JSONL file as "
+             "it happens (input for 'stream --from-trace')",
+    )
     _add_campaign_args(run_cmd)
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="online anomaly detection over a trace-event stream",
+        description=(
+            "Feed a trace-event JSONL file (from 'run --trace-out' or "
+            "a fleet store's traces/ directory) through the streaming "
+            "detection engine: anomalies are reported the moment their "
+            "evidence completes, with live per-anomaly counters and "
+            "state-size telemetry.  Output records are identical to "
+            "the batch pipeline's (the parity contract)."
+        ),
+    )
+    stream_cmd.add_argument(
+        "--from-trace", required=True, metavar="FILE", dest="trace",
+        help="trace-event JSONL file to ingest",
+    )
+    stream_cmd.add_argument(
+        "--follow", action="store_true",
+        help="keep watching the file for appended events (live tail "
+             "of a running campaign; stop with Ctrl-C)",
+    )
+    stream_cmd.add_argument(
+        "--stats-every", type=int, default=0, metavar="N",
+        help="print a telemetry line every N ingested operations "
+             "(0 = only per-test summaries)",
+    )
+    stream_cmd.add_argument(
+        "--horizon", type=int, default=None, metavar="N",
+        help="eviction horizon: closed-test records retained by the "
+             "engine (default 64)",
+    )
+    stream_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-anomaly live lines (keep summaries)",
+    )
 
     report_cmd = sub.add_parser(
         "report", help="regenerate figures from saved campaign files"
@@ -121,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument(
         "--quiet", action="store_true",
         help="suppress per-shard progress telemetry",
+    )
+    fleet_cmd.add_argument(
+        "--stream", action="store_true",
+        help="use the online detection fast path: identical results, "
+             "per-test anomaly telemetry while shards run, and (with "
+             "--out) archived per-shard operation streams",
     )
     _add_campaign_args(fleet_cmd)
     _add_fleet_args(fleet_cmd)
@@ -183,7 +230,21 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_campaign(args.service, _config(args))
+    observer = None
+    trace_file = None
+    if args.trace_out:
+        from repro.io import TraceEventWriter
+
+        trace_file = open(args.trace_out, "w", encoding="utf-8")
+        observer = TraceEventWriter(trace_file)
+    try:
+        result = run_campaign(args.service, _config(args),
+                              observer=observer)
+    finally:
+        if trace_file is not None:
+            trace_file.close()
+    if args.trace_out:
+        print(f"operation stream written to {args.trace_out}")
     print(f"service: {result.service}")
     print(f"tests:   {result.total_tests} "
           f"({args.tests} per test type)")
@@ -258,6 +319,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec, jobs=args.jobs, out_dir=args.out,
         on_event=None if args.quiet else on_event,
         shard_timeout=args.shard_timeout,
+        stream=args.stream,
     )
 
     print(f"\n== Fleet summary ({len(outcome.results)} campaigns, "
@@ -272,6 +334,88 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                   f"max {entry.maximum:6.3f}")
     if args.out:
         print(f"\nartifacts stored in {args.out}")
+    return 0
+
+
+def _follow_lines(handle, poll_interval: float = 0.5):
+    """Yield lines forever, waiting for appends at EOF (tail -f)."""
+    import time
+
+    while True:
+        line = handle.readline()
+        if line:
+            yield line
+        else:
+            time.sleep(poll_interval)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.io import iter_trace_events
+    from repro.stream import DEFAULT_HORIZON, OpIngest, StreamEngine
+    from repro.stream.ingest import feed_events
+
+    horizon = (args.horizon if args.horizon is not None
+               else DEFAULT_HORIZON)
+    engine = StreamEngine(horizon=horizon)
+    peak_state = 0
+
+    def on_emission(meta, sop, emission) -> None:
+        if args.quiet:
+            return
+        for obs in emission.observations:
+            print(f"[{meta.test_id}] {obs.anomaly} by {obs.agent} "
+                  f"at t={obs.time:.2f}")
+        for event in emission.window_events:
+            pair = "~".join(event.pair)
+            tail = (f" ({event.time - event.start:.2f}s)"
+                    if event.start is not None else "")
+            print(f"[{meta.test_id}] {event.kind} window "
+                  f"{event.action} for {pair} at "
+                  f"t={event.time:.2f}{tail}")
+
+    def on_record(meta, record) -> None:
+        found = {kind: len(observations) for kind, observations
+                 in record.report.observations.items()
+                 if observations}
+        summary = (", ".join(f"{kind}={count}" for kind, count
+                             in sorted(found.items()))
+                   or "clean")
+        print(f"[{meta.test_id}] closed: {summary} "
+              f"(state={engine.state_size()})")
+
+    ingest = OpIngest(engine, on_emission=on_emission,
+                      on_record=on_record)
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            lines = (_follow_lines(handle) if args.follow
+                     else iter(handle))
+            ingested = 0
+            for event in feed_events(iter_trace_events(lines),
+                                     ingest):
+                if event.get("event") != "op":
+                    continue
+                ingested += 1
+                state = engine.state_size() + ingest.state_size()
+                peak_state = max(peak_state, state)
+                if args.stats_every and \
+                        ingested % args.stats_every == 0:
+                    counts = ", ".join(
+                        f"{kind}={count}" for kind, count
+                        in sorted(engine.anomaly_counts.items())
+                        if count)
+                    print(f"-- {ingested} ops, "
+                          f"{engine.open_tests} open / "
+                          f"{engine.tests_closed} closed tests, "
+                          f"state={state} (peak {peak_state})"
+                          + (f", {counts}" if counts else ""))
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    print(f"\n== Stream summary ==")
+    print(f"operations ingested: {engine.operations_seen}")
+    print(f"tests closed:        {engine.tests_closed}")
+    print(f"peak state size:     {peak_state}")
+    for kind, count in engine.anomaly_counts.items():
+        print(f"  {kind:20s} {count}")
     return 0
 
 
@@ -307,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "stream": _cmd_stream,
         "figures": _cmd_figures,
         "fleet": _cmd_fleet,
         "report": _cmd_report,

@@ -9,6 +9,7 @@ need (per-agent counts, per-pair booleans).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.anomalies.base import (
     ALL_ANOMALIES,
@@ -94,6 +95,61 @@ class TraceReport:
     def summary(self) -> dict[str, int]:
         """Anomaly-kind -> observation count for all known kinds."""
         return {anomaly: self.count(anomaly) for anomaly in ALL_ANOMALIES}
+
+    @classmethod
+    def from_observations(
+        cls, test_id: str, service: str, test_type: str,
+        agents: tuple[str, ...],
+        observations: Iterable[AnomalyObservation],
+        anomalies: Iterable[str] = ALL_ANOMALIES,
+    ) -> "TraceReport":
+        """Build a report from a flat observation stream.
+
+        The streaming engine and the batch registry share this one
+        report type: ``check_all`` fills it checker by checker, the
+        streaming path pours its per-test observations in here.  Every
+        kind in ``anomalies`` gets a (possibly empty) entry, matching
+        :func:`check_all` output shape; within one kind, observations
+        keep their stream order.
+        """
+        report = cls(test_id=test_id, service=service,
+                     test_type=test_type, agents=agents,
+                     observations={kind: [] for kind in anomalies})
+        for obs in observations:
+            report.observations.setdefault(obs.anomaly, []).append(obs)
+        return report
+
+    def merge(self, *others: "TraceReport") -> "TraceReport":
+        """Combine reports for the *same* test into a new report.
+
+        Per-anomaly observation lists are concatenated in argument
+        order — the shape produced when independent checkers (or
+        streaming shards of one test) each report a disjoint subset of
+        anomaly kinds.  Identity fields must agree across all inputs.
+        """
+        for other in others:
+            mismatched = [
+                name for name in
+                ("test_id", "service", "test_type", "agents")
+                if getattr(other, name) != getattr(self, name)
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"cannot merge reports of different tests "
+                    f"(fields differ: {mismatched})"
+                )
+        merged = TraceReport(
+            test_id=self.test_id, service=self.service,
+            test_type=self.test_type, agents=self.agents,
+            observations={kind: list(obs_list) for kind, obs_list
+                          in self.observations.items()},
+        )
+        for other in others:
+            for kind, obs_list in other.observations.items():
+                merged.observations.setdefault(kind, []).extend(
+                    obs_list
+                )
+        return merged
 
 
 def check_all(trace: TestTrace,

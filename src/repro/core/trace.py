@@ -25,7 +25,7 @@ to the coordinator's reference frame using the estimated deltas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import AnalysisError
 
@@ -124,8 +124,20 @@ class TestTrace:
     #: message_id -> ids it causally depends on.  Empty means "derive
     #: dependencies generically from the author's prior reads".
     wfr_triggers: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: Live per-operation observers, notified by :meth:`record` in
+    #: recording order.  Observability only: excluded from equality so
+    #: a subscribed trace still compares equal to an unsubscribed one.
+    observers: list[Callable[["TestTrace", Operation], None]] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     # -- Recording ---------------------------------------------------------
+
+    def subscribe(
+        self, observer: Callable[["TestTrace", Operation], None]
+    ) -> None:
+        """Call ``observer(trace, op)`` for every future recorded op."""
+        self.observers.append(observer)
 
     def record(self, operation: Operation) -> None:
         """Append one logged operation."""
@@ -135,6 +147,8 @@ class TestTrace:
                 f"trace agents are {self.agents!r}"
             )
         self.operations.append(operation)
+        for observer in self.observers:
+            observer(self, operation)
 
     def extend(self, operations: Iterable[Operation]) -> None:
         for operation in operations:

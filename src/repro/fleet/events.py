@@ -22,6 +22,7 @@ __all__ = [
     "FleetCompleted",
     "ShardEvent",
     "ShardStarted",
+    "ShardTestChecked",
     "ShardCompleted",
     "ShardRetried",
     "ShardSkipped",
@@ -72,6 +73,23 @@ class ShardStarted(ShardEvent):
 
 
 @dataclass(frozen=True)
+class ShardTestChecked(ShardEvent):
+    """One test of a shard finished and was checked *online*.
+
+    Only the streaming fast path (``run_fleet(..., stream=True)``)
+    emits these — the batch path has nothing to report until a whole
+    shard returns.  ``anomalies`` maps anomaly kind to this test's
+    observation count (zero counts omitted); ``state_size`` is the
+    worker engine's retained-atom count right after the test closed.
+    """
+
+    test_id: str = ""
+    test_index: int = 0
+    anomalies: dict[str, int] | None = None
+    state_size: int = 0
+
+
+@dataclass(frozen=True)
 class ShardCompleted(ShardEvent):
     attempts: int = 1
     records: int = 0
@@ -108,6 +126,14 @@ def render_event(event: FleetEvent) -> str | None:
         attempt = (f" (attempt {event.attempt})"
                    if event.attempt > 1 else "")
         return f"{_shard_label(event)} started{attempt}"
+    if isinstance(event, ShardTestChecked):
+        if event.anomalies:
+            found = ", ".join(f"{kind}={count}" for kind, count
+                              in sorted(event.anomalies.items()))
+        else:
+            found = "clean"
+        return (f"{_shard_label(event)} checked {event.test_id}: "
+                f"{found} (state={event.state_size})")
     if isinstance(event, ShardCompleted):
         return (f"{_shard_label(event)} done: {event.records} records"
                 + (f" after {event.attempts} attempts"

@@ -53,6 +53,7 @@ from repro.fleet.events import (
     ShardRetried,
     ShardSkipped,
     ShardStarted,
+    ShardTestChecked,
 )
 from repro.fleet.spec import FleetSpec, ShardJob
 from repro.fleet.store import ArtifactStore
@@ -107,7 +108,8 @@ def run_fleet(spec: FleetSpec, *,
               on_event: EventCallback | None = None,
               shard_timeout: float | None = None,
               max_retries: int = DEFAULT_MAX_RETRIES,
-              shard_runner: ShardRunner | None = None) -> FleetOutcome:
+              shard_runner: ShardRunner | None = None,
+              stream: bool = False) -> FleetOutcome:
     """Execute every shard of ``spec`` and merge in spec order.
 
     Parameters
@@ -130,11 +132,26 @@ def run_fleet(spec: FleetSpec, *,
     shard_runner:
         Override of :func:`execute_shard`; must be a module-level
         callable when ``jobs >= 2`` (it crosses the process boundary).
+    stream:
+        Use the online detection fast path
+        (:func:`repro.stream.fleet.run_stream_shard`): each shard's
+        records come from the streaming engine instead of the batch
+        re-check (bit-identical by the parity contract), every test
+        closure is reported incrementally as a
+        :class:`~repro.fleet.events.ShardTestChecked` event — piped
+        from workers while shards are still running — and, with an
+        output directory, each shard's operation stream is archived to
+        ``traces/<shard_id>.ops.jsonl`` for ``stream --from-trace``.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
     if max_retries < 0:
         raise ConfigurationError("max_retries must be >= 0")
+    if stream and shard_runner is not None:
+        raise ConfigurationError(
+            "stream=True supplies its own shard runner; pass one or "
+            "the other"
+        )
     if jobs > 1 and spec.base_config.keep_traces:
         raise ConfigurationError(
             "keep_traces is incompatible with parallel execution: "
@@ -174,11 +191,14 @@ def run_fleet(spec: FleetSpec, *,
 
     retries = 0
     if jobs == 1:
-        _run_serial(pending, runner, store, emit, total, results)
+        if stream:
+            _run_stream_serial(pending, store, emit, total, results)
+        else:
+            _run_serial(pending, runner, store, emit, total, results)
     else:
         retries = _run_parallel(
             pending, jobs, runner, store, emit, total, results,
-            shard_timeout, max_retries,
+            shard_timeout, max_retries, stream,
         )
 
     merged = [results[job.index] for job in all_jobs]
@@ -216,6 +236,12 @@ def _records_to_jsonable(result: CampaignResult) -> list[dict]:
     return [record_to_dict(record) for record in result.records]
 
 
+def _anomaly_summary(record) -> dict[str, int]:
+    """Nonzero per-kind observation counts of one test record."""
+    return {kind: len(observations) for kind, observations
+            in record.report.observations.items() if observations}
+
+
 # -- Serial path --------------------------------------------------------
 
 
@@ -238,6 +264,41 @@ def _run_serial(pending: list[ShardJob], runner: ShardRunner,
                           records=len(result.records)))
 
 
+def _run_stream_serial(pending: list[ShardJob],
+                       store: ArtifactStore | None, emit, total: int,
+                       results: dict[int, CampaignResult]) -> None:
+    """Serial execution through the streaming engine.
+
+    Identical merged results (parity contract), plus a
+    :class:`ShardTestChecked` event per test and, with a store, the
+    shard's archived operation stream.
+    """
+    from repro.stream.fleet import run_stream_shard
+
+    for job in pending:
+        emit(_shard_event(ShardStarted, job, total, attempt=1))
+        checked = 0
+
+        def on_test(meta, record, engine, job=job):
+            nonlocal checked
+            emit(_shard_event(
+                ShardTestChecked, job, total,
+                test_id=record.test_id, test_index=checked,
+                anomalies=_anomaly_summary(record),
+                state_size=engine.state_size(),
+            ))
+            checked += 1
+
+        trace_path = (store.trace_path(job.shard_id)
+                      if store is not None else None)
+        result = run_stream_shard(job, on_test, trace_path)
+        if store is not None:
+            store.write_shard(job, _records_to_jsonable(result))
+        results[job.index] = result
+        emit(_shard_event(ShardCompleted, job, total, attempts=1,
+                          records=len(result.records)))
+
+
 # -- Parallel path ------------------------------------------------------
 
 
@@ -245,6 +306,48 @@ def _shard_worker(conn, runner: ShardRunner, job: ShardJob) -> None:
     """Worker-process entry point: run one shard, ship its records."""
     try:
         result = runner(job)
+        payload = {"ok": True,
+                   "records": _records_to_jsonable(result)}
+    except BaseException:
+        payload = {"ok": False, "error": traceback.format_exc()}
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _stream_shard_worker(conn, job: ShardJob,
+                         trace_path: str | None) -> None:
+    """Streaming worker: interim per-test messages, then the payload.
+
+    Interim messages (``{"type": "test", ...}``) ride the same pipe as
+    the final result; the host forwards them as
+    :class:`ShardTestChecked` events while the shard is still running.
+    A broken pipe on an interim send is ignored — the host may already
+    have abandoned this attempt (timeout), and the final send's
+    failure handling covers the result itself.
+    """
+    from repro.stream.fleet import run_stream_shard
+
+    checked = 0
+
+    def on_test(meta, record, engine):
+        nonlocal checked
+        message = {
+            "type": "test",
+            "test_id": record.test_id,
+            "test_index": checked,
+            "anomalies": _anomaly_summary(record),
+            "state_size": engine.state_size(),
+        }
+        checked += 1
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    try:
+        result = run_stream_shard(job, on_test, trace_path)
         payload = {"ok": True,
                    "records": _records_to_jsonable(result)}
     except BaseException:
@@ -276,7 +379,8 @@ def _run_parallel(pending: list[ShardJob], jobs: int,
                   emit, total: int,
                   results: dict[int, CampaignResult],
                   shard_timeout: float | None,
-                  max_retries: int) -> int:
+                  max_retries: int,
+                  stream: bool = False) -> int:
     ctx = _mp_context()
     queue: deque[tuple[ShardJob, int]] = deque(
         (job, 1) for job in pending
@@ -301,8 +405,16 @@ def _run_parallel(pending: list[ShardJob], jobs: int,
             while queue and len(running) < jobs:
                 job, attempt = queue.popleft()
                 recv, send = ctx.Pipe(duplex=False)
+                if stream:
+                    trace_path = (str(store.trace_path(job.shard_id))
+                                  if store is not None else None)
+                    target, args = _stream_shard_worker, (
+                        send, job, trace_path,
+                    )
+                else:
+                    target, args = _shard_worker, (send, runner, job)
                 process = ctx.Process(
-                    target=_shard_worker, args=(send, runner, job),
+                    target=target, args=args,
                     name=f"fleet-{job.shard_id}", daemon=True,
                 )
                 process.start()
@@ -325,11 +437,23 @@ def _run_parallel(pending: list[ShardJob], jobs: int,
             ready = connection.wait(list(running), timeout=poll)
 
             for conn in ready:
-                entry = running.pop(conn)
+                entry = running[conn]
                 try:
                     payload = conn.recv()
                 except EOFError:
                     payload = None
+                if isinstance(payload, dict) and \
+                        payload.get("type") == "test":
+                    # Interim telemetry; the shard is still running.
+                    emit(_shard_event(
+                        ShardTestChecked, entry.job, total,
+                        test_id=payload["test_id"],
+                        test_index=payload["test_index"],
+                        anomalies=payload["anomalies"],
+                        state_size=payload["state_size"],
+                    ))
+                    continue
+                running.pop(conn)
                 conn.close()
                 entry.process.join()
                 if payload is None:

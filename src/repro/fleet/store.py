@@ -5,7 +5,9 @@ Layout under one output directory::
     <root>/
       manifest.json           # spec hash + per-shard status/digests
       shards/
-        0000_blogger_s1.jsonl # one canonical-JSON record per line
+        0000_blogger_s1.jsonl     # one canonical-JSON record per line
+      traces/
+        0000_blogger_s1.ops.jsonl # op stream (streaming mode only)
 
 Each shard file is the JSONL stream of its campaign's test records
 (the :func:`repro.io.record_to_dict` encoding, one canonical-JSON
@@ -70,6 +72,17 @@ class ArtifactStore:
 
     def shard_path(self, shard_id: str) -> Path:
         return self.shards_dir / f"{shard_id}.jsonl"
+
+    @property
+    def traces_dir(self) -> Path:
+        """Per-shard operation streams (streaming fast path only)."""
+        return self.root / "traces"
+
+    def trace_path(self, shard_id: str) -> Path:
+        """The shard's trace-event JSONL (``stream --from-trace``
+        input).  Auxiliary artifact: written as ops happen, not
+        digest-tracked, never consulted by resume."""
+        return self.traces_dir / f"{shard_id}.ops.jsonl"
 
     # -- Manifest -------------------------------------------------------
 

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator, TextIO
 
 from repro.core.anomalies.base import AnomalyObservation
 from repro.core.anomalies.registry import TraceReport
+from repro.core.trace import Operation, ReadOp, TestTrace, WriteOp
 from repro.core.windows import WindowResult
 from repro.errors import AnalysisError
 from repro.methodology.config import CampaignConfig
@@ -37,9 +38,17 @@ __all__ = [
     "record_to_dict",
     "record_from_dict",
     "SCHEMA_VERSION",
+    "TRACE_EVENT_SCHEMA_VERSION",
+    "operation_to_dict",
+    "operation_from_dict",
+    "trace_meta_to_dict",
+    "trace_from_meta_dict",
+    "TraceEventWriter",
+    "iter_trace_events",
 ]
 
 SCHEMA_VERSION = 1
+TRACE_EVENT_SCHEMA_VERSION = 1
 
 
 # -- Serialization ------------------------------------------------------
@@ -191,6 +200,135 @@ def _record_from_dict(data: dict, service: str) -> TestRecord:
         writes_per_agent=dict(data["writes_per_agent"]),
         duration=data["duration"],
     )
+
+
+# -- Trace-event JSONL ----------------------------------------------------
+#
+# A campaign's *operation stream* as an append-only JSONL file: one
+# ``test_open`` line per test (all metadata the streaming engine needs
+# up front), one ``op`` line per logged operation in recording order,
+# one ``test_close`` line when the test finishes.  The format is what
+# ``repro-consistency stream --from-trace`` consumes, what the fleet
+# archives per shard, and what ``run --trace-out`` emits — the
+# decoupling point between collecting operations and analyzing them.
+
+
+def operation_to_dict(op: Operation) -> dict:
+    """Serialize one trace operation to a JSON-safe dict."""
+    data: dict[str, Any] = {
+        "kind": "write" if isinstance(op, WriteOp) else "read",
+        "agent": op.agent,
+        "invoke_local": op.invoke_local,
+        "response_local": op.response_local,
+    }
+    if isinstance(op, WriteOp):
+        data["message_id"] = op.message_id
+    else:
+        data["observed"] = list(op.observed)
+    if op.true_invoke is not None:
+        data["true_invoke"] = op.true_invoke
+    if op.true_response is not None:
+        data["true_response"] = op.true_response
+    return data
+
+
+def operation_from_dict(data: dict) -> Operation:
+    """Rebuild a trace operation from :func:`operation_to_dict`."""
+    common = {
+        "agent": data["agent"],
+        "invoke_local": data["invoke_local"],
+        "response_local": data["response_local"],
+        "true_invoke": data.get("true_invoke"),
+        "true_response": data.get("true_response"),
+    }
+    if data["kind"] == "write":
+        return WriteOp(message_id=data["message_id"], **common)
+    if data["kind"] == "read":
+        return ReadOp(observed=tuple(data["observed"]), **common)
+    raise AnalysisError(f"unknown operation kind {data['kind']!r}")
+
+
+def trace_meta_to_dict(trace: TestTrace) -> dict:
+    """The ``test_open`` payload: everything known at trace creation."""
+    return {
+        "test_id": trace.test_id,
+        "service": trace.service,
+        "test_type": trace.test_type,
+        "agents": list(trace.agents),
+        "clock_deltas": dict(trace.clock_deltas),
+        "delta_uncertainty": dict(trace.delta_uncertainty),
+        "wfr_triggers": {mid: sorted(deps) for mid, deps
+                         in trace.wfr_triggers.items()},
+    }
+
+
+def trace_from_meta_dict(data: dict) -> TestTrace:
+    """An empty :class:`TestTrace` shell from a ``test_open`` payload."""
+    return TestTrace(
+        test_id=data["test_id"],
+        service=data["service"],
+        test_type=data["test_type"],
+        agents=tuple(data["agents"]),
+        clock_deltas=dict(data["clock_deltas"]),
+        delta_uncertainty=dict(data.get("delta_uncertainty", {})),
+        wfr_triggers={mid: frozenset(deps) for mid, deps
+                      in data.get("wfr_triggers", {}).items()},
+    )
+
+
+class TraceEventWriter:
+    """An :class:`~repro.methodology.runner.OperationObserver` that
+    appends every event to a JSONL stream as it happens.
+
+    Lines are flushed per event so a concurrent ``stream --follow``
+    reader sees operations with no buffering lag.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+
+    def _emit(self, payload: dict) -> None:
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def test_opened(self, trace: TestTrace) -> None:
+        self._emit({
+            "event": "test_open",
+            "schema_version": TRACE_EVENT_SCHEMA_VERSION,
+            **trace_meta_to_dict(trace),
+        })
+
+    def operation(self, trace: TestTrace, op: Operation) -> None:
+        self._emit({
+            "event": "op",
+            "test_id": trace.test_id,
+            **operation_to_dict(op),
+        })
+
+    def test_closed(self, trace: TestTrace) -> None:
+        self._emit({"event": "test_close", "test_id": trace.test_id})
+
+
+def iter_trace_events(lines: Iterable[str]) -> Iterator[dict]:
+    """Parse trace-event JSONL lines, skipping blanks.
+
+    Accepts any iterable of lines (an open file, a tail-follow
+    generator); schema versions newer than this reader rejects early
+    rather than mis-parsing.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        version = event.get("schema_version",
+                            TRACE_EVENT_SCHEMA_VERSION)
+        if version != TRACE_EVENT_SCHEMA_VERSION:
+            raise AnalysisError(
+                f"unsupported trace-event schema version {version!r} "
+                f"(expected {TRACE_EVENT_SCHEMA_VERSION})"
+            )
+        yield event
 
 
 def load_campaign(path: str | Path) -> CampaignResult:

@@ -72,6 +72,7 @@ DEFAULT_AGGREGATION_SCOPES = DEFAULT_SIM_SCOPES + (
     "repro.fleet",
     "repro.analysis",
     "repro.io",
+    "repro.stream",
 )
 
 

@@ -20,10 +20,11 @@ stretch); pass ``CampaignConfig(nemesis=...)`` for custom scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 from repro.core.anomalies import ALL_ANOMALIES
 from repro.core.anomalies.registry import TraceReport, check_all
-from repro.core.trace import TestTrace
+from repro.core.trace import Operation, TestTrace
 from repro.core.windows import (
     WindowResult,
     content_divergence_windows,
@@ -41,10 +42,38 @@ from repro.methodology.world import MeasurementWorld
 from repro.sim.process import spawn
 
 __all__ = ["TestRecord", "CampaignResult", "run_campaign",
-           "analyze_trace"]
+           "analyze_trace", "OperationObserver", "TraceAnalyzer"]
 
 #: Pair key type used throughout the analysis: sorted agent names.
 Pair = tuple[str, str]
+
+
+class OperationObserver(Protocol):
+    """Live per-operation hook into a running campaign.
+
+    The online detection path (:mod:`repro.stream`) and trace-event
+    exporters implement this protocol; ``run_campaign(observer=...)``
+    wires it in.  Calls arrive in simulation order:
+
+    * ``test_opened(trace)`` — the trace exists, clock deltas and the
+      WFR trigger map are final, no operation has been logged yet;
+    * ``operation(trace, op)`` — one operation, the instant an agent
+      logs it (i.e. at the op's true response time);
+    * ``test_closed(trace)`` — the test finished; no more operations
+      will be logged into this trace.
+    """
+
+    def test_opened(self, trace: TestTrace) -> None: ...
+
+    def operation(self, trace: TestTrace, op: Operation) -> None: ...
+
+    def test_closed(self, trace: TestTrace) -> None: ...
+
+
+#: Distills a finished trace into a record; ``analyze_trace`` is the
+#: batch default, the streaming fast path substitutes one that reads
+#: the already-computed online result instead of re-checking.
+TraceAnalyzer = Callable[[TestTrace, bool], "TestRecord"]
 
 
 @dataclass(frozen=True)
@@ -142,8 +171,19 @@ def analyze_trace(trace: TestTrace,
 
 def run_campaign(service_name: str,
                  config: CampaignConfig | None = None,
-                 plan: ServicePlan | None = None) -> CampaignResult:
-    """Run a full measurement campaign against one service."""
+                 plan: ServicePlan | None = None,
+                 observer: OperationObserver | None = None,
+                 analyzer: TraceAnalyzer | None = None
+                 ) -> CampaignResult:
+    """Run a full measurement campaign against one service.
+
+    ``observer`` taps the live operation stream (see
+    :class:`OperationObserver`); ``analyzer`` replaces the default
+    batch :func:`analyze_trace` — the streaming fast path passes one
+    that hands back the record its engine already built online.
+    Neither affects what the campaign *executes*: they only watch, or
+    re-derive, the analysis of each finished trace.
+    """
     config = config or CampaignConfig()
     plan = plan or PAPER_PLANS[service_name]
     world = MeasurementWorld(
@@ -172,13 +212,13 @@ def run_campaign(service_name: str,
                 test_id = f"{service_name}-{test_type}-{index}"
                 if test_type == "test1":
                     trace = yield from run_test1(world, test_id,
-                                                 plan.test1)
+                                                 plan.test1, observer)
                     gap = (config.inter_test_gap
                            if config.inter_test_gap is not None
                            else plan.test1.inter_test_gap)
                 else:
                     trace = yield from run_test2(world, test_id,
-                                                 plan.test2)
+                                                 plan.test2, observer)
                     gap = (config.inter_test_gap
                            if config.inter_test_gap is not None
                            else plan.test2.inter_test_gap)
@@ -187,8 +227,12 @@ def run_campaign(service_name: str,
                     # their (timeout-sized) hint.
                     for window in armed_windows:
                         world.faults.close(window, world.sim.now)
+                if observer is not None:
+                    observer.test_closed(trace)
+                distill = analyzer if analyzer is not None \
+                    else analyze_trace
                 result.records.append(
-                    analyze_trace(trace, keep_trace=config.keep_traces)
+                    distill(trace, config.keep_traces)
                 )
                 # Sub-second jitter varies the wall-clock phase between
                 # tests (load-bearing for second-truncated ordering).

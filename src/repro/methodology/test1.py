@@ -29,10 +29,14 @@ __all__ = ["run_test1"]
 
 
 def run_test1(world: MeasurementWorld, test_id: str,
-              config: Test1Config):
+              config: Test1Config, observer=None):
     """Process generator running one Test 1 instance.
 
-    Returns the completed :class:`~repro.core.trace.TestTrace`.
+    Returns the completed :class:`~repro.core.trace.TestTrace`.  An
+    optional :class:`~repro.methodology.runner.OperationObserver` is
+    told when the trace opens (clock deltas and trigger map already
+    set) and sees every operation as the agents log it; the campaign
+    runner signals ``test_closed`` once the trace is complete.
     """
     # Re-estimate clock deltas before each iteration (§V).
     yield from world.coordinator.sync_clocks()
@@ -48,6 +52,9 @@ def run_test1(world: MeasurementWorld, test_id: str,
         delta_uncertainty=world.coordinator.uncertainty_map(),
         wfr_triggers={m3: frozenset({m2}), m5: frozenset({m4})},
     )
+    if observer is not None:
+        observer.test_opened(trace)
+        trace.subscribe(observer.operation)
     for agent in world.agents:
         agent.begin_test(trace, message_ids)
 

@@ -26,10 +26,13 @@ __all__ = ["run_test2"]
 
 
 def run_test2(world: MeasurementWorld, test_id: str,
-              config: Test2Config):
+              config: Test2Config, observer=None):
     """Process generator running one Test 2 instance.
 
-    Returns the completed :class:`~repro.core.trace.TestTrace`.
+    Returns the completed :class:`~repro.core.trace.TestTrace`.  An
+    optional :class:`~repro.methodology.runner.OperationObserver` is
+    told when the trace opens and sees every operation as the agents
+    log it; the campaign runner signals ``test_closed``.
     """
     estimates = yield from world.coordinator.sync_clocks()
 
@@ -43,6 +46,9 @@ def run_test2(world: MeasurementWorld, test_id: str,
         clock_deltas=world.coordinator.delta_map(),
         delta_uncertainty=world.coordinator.uncertainty_map(),
     )
+    if observer is not None:
+        observer.test_opened(trace)
+        trace.subscribe(observer.operation)
     for agent in world.agents:
         agent.begin_test(trace, message_ids)
 

@@ -1,0 +1,174 @@
+"""Common vocabulary for the online anomaly-detection engine.
+
+The batch checkers (:mod:`repro.core.anomalies`) take a complete
+:class:`~repro.core.trace.TestTrace`; the streaming checkers here take
+the same operations *one at a time* and emit the same
+:class:`~repro.core.anomalies.base.AnomalyObservation` objects, the
+moment the violating read (or read pair) arrives.
+
+Canonical stream order
+----------------------
+Every streaming algorithm in this package assumes operations arrive in
+**canonical stream order**:
+
+    key(op) = (corrected_response(op), 0 if write else 1, record_seq)
+
+i.e. reference-frame response time, writes before reads at exact time
+ties, remaining ties broken by recording order.  Two properties make
+this the one order that reconciles "online" with "identical to batch":
+
+* **Per-agent prefix property** — one agent's operations share one
+  clock delta, so canonical order restricted to an agent equals its
+  local response order: session-scoped state (high-water marks,
+  seen-sets) can be updated incrementally and is always complete when
+  the agent's next operation arrives.
+* **Cross-agent availability** — every batch predicate compares an
+  operation only against operations whose corrected response precedes
+  its own corrected invocation (or response); under canonical order
+  those have already arrived (the writes-first tie-break covers the
+  inclusive boundary).  The single degenerate exception — a
+  zero-duration read ending exactly at a zero-duration write's
+  invocation instant — cannot occur in traces with positive operation
+  latencies, which every simulator-produced trace has.
+
+Replay feeds sort a finished trace into this order
+(:func:`repro.stream.ingest.stream_order`); live feeds pass through a
+watermark sequencer (:class:`repro.stream.ingest.OpIngest`) that
+restores it with a bounded reorder buffer.
+
+State accounting
+----------------
+Every checker reports :meth:`StreamingChecker.state_size` — the number
+of retained state atoms (stored views, high-water entries, pending
+observations).  The engine sums these into its telemetry so the
+bounded-memory contract is *measured*, not asserted: benchmarks grow
+the campaign 10x and check the peak plateaus under test eviction.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.anomalies.base import AnomalyObservation
+from repro.core.trace import Operation, TestTrace, WriteOp
+
+__all__ = ["TestMeta", "StreamOp", "StreamingChecker"]
+
+
+@dataclass(frozen=True)
+class TestMeta:
+    """Per-test metadata the checkers need before the first operation.
+
+    Everything here is known at test open time: the runner estimates
+    clock deltas and fixes the WFR trigger map *before* agents start
+    logging, so the streaming path never waits on trace completion for
+    metadata.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    test_id: str
+    service: str
+    test_type: str
+    agents: tuple[str, ...]
+    clock_deltas: dict[str, float] = field(default_factory=dict)
+    delta_uncertainty: dict[str, float] = field(default_factory=dict)
+    wfr_triggers: dict[str, frozenset[str]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_trace(cls, trace: TestTrace) -> "TestMeta":
+        return cls(
+            test_id=trace.test_id,
+            service=trace.service,
+            test_type=trace.test_type,
+            agents=trace.agents,
+            clock_deltas=dict(trace.clock_deltas),
+            delta_uncertainty=dict(trace.delta_uncertainty),
+            wfr_triggers=dict(trace.wfr_triggers),
+        )
+
+    def corrected(self, agent: str, local_time: float) -> float:
+        """Translate an agent-local instant into reference time."""
+        return local_time - self.clock_deltas.get(agent, 0.0)
+
+    def agent_index(self, agent: str) -> int:
+        return self.agents.index(agent)
+
+    def agent_pairs(self) -> list[tuple[str, str]]:
+        """All unordered agent pairs, in the trace's stable order."""
+        return [
+            (first, second)
+            for i, first in enumerate(self.agents)
+            for second in self.agents[i + 1:]
+        ]
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One operation positioned in the canonical stream.
+
+    ``seq`` is the operation's recording index within its test (the
+    batch stable-sort tie-breaker); ``read_seq`` numbers reads only, in
+    canonical order — the index a read has in the batch
+    ``trace.reads()`` list, used to put deferred observations back in
+    batch emission order.
+    """
+
+    op: Operation
+    time: float  # corrected (reference-frame) response time
+    invoke: float  # corrected invocation time
+    seq: int
+    read_seq: int = -1
+
+    @property
+    def is_write(self) -> bool:
+        return isinstance(self.op, WriteOp)
+
+    @property
+    def agent(self) -> str:
+        return self.op.agent
+
+
+class StreamingChecker(abc.ABC):
+    """Interface every streaming anomaly checker implements.
+
+    Lifecycle per test: ``open_test`` once, ``observe`` per operation
+    in canonical stream order, ``close_test`` once.  ``observe``
+    returns the observations the operation triggers *immediately* —
+    the live telemetry feed.  ``close_test`` returns the test's
+    **complete** observation list, in the batch checker's emission
+    order (including any observations already surfaced live plus the
+    stragglers whose evidence only completed later), and drops every
+    byte of the test's state.
+
+    Contract (enforced by the parity suite and the CI gate): for any
+    trace fed in canonical stream order, ``close_test`` output equals
+    the corresponding batch checker's ``check(trace)`` element for
+    element.
+    """
+
+    #: Anomaly-kind constant produced by this checker.
+    anomaly: str = ""
+
+    @abc.abstractmethod
+    def open_test(self, meta: TestMeta) -> None:
+        """Allocate per-test state for ``meta.test_id``."""
+
+    @abc.abstractmethod
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[AnomalyObservation]:
+        """Ingest one operation; return observations it fired."""
+
+    @abc.abstractmethod
+    def close_test(self, meta: TestMeta) -> list[AnomalyObservation]:
+        """Return the test's full batch-ordered output; free state."""
+
+    @abc.abstractmethod
+    def state_size(self) -> int:
+        """Number of retained state atoms, across all open tests."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} anomaly={self.anomaly!r}>"

@@ -1,0 +1,220 @@
+"""The online anomaly-detection engine.
+
+:class:`StreamEngine` fans one canonical-order operation stream out to
+the six streaming checkers plus the two divergence-window trackers,
+and distills every closed test into the exact
+:class:`~repro.methodology.runner.TestRecord` the batch
+:func:`~repro.methodology.runner.analyze_trace` would have produced —
+that equality is the subsystem's correctness anchor, enforced by
+:mod:`repro.stream.parity` and the CI gate.
+
+Memory model: per *open* test the engine holds O(agents x active-keys)
+checker state plus O(1) counters; a closed test's state is dropped by
+every checker and only its distilled record is retained, in a ring
+bounded by the **eviction horizon** (``horizon`` closed records; older
+ones fall off).  :meth:`StreamEngine.state_size` sums every layer so
+telemetry — and the throughput benchmark's bounded-memory assertion —
+measures the real footprint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.anomalies.base import (
+    ALL_ANOMALIES,
+    AnomalyObservation,
+)
+from repro.core.anomalies.registry import TraceReport
+from repro.core.trace import ReadOp, TestTrace
+from repro.core.windows import WindowResult
+from repro.methodology.runner import TestRecord
+from repro.stream.base import StreamingChecker, StreamOp, TestMeta
+from repro.stream.divergence import (
+    StreamingContentDivergenceChecker,
+    StreamingOrderDivergenceChecker,
+)
+from repro.stream.session import (
+    StreamingMonotonicReadsChecker,
+    StreamingMonotonicWritesChecker,
+    StreamingReadYourWritesChecker,
+    StreamingWritesFollowReadsChecker,
+)
+from repro.stream.windows import (
+    WindowEvent,
+    streaming_content_windows,
+    streaming_order_windows,
+)
+
+__all__ = ["default_streaming_checkers", "Emission", "StreamEngine"]
+
+Pair = tuple[str, str]
+
+#: Default eviction horizon: closed-test records retained by the engine.
+DEFAULT_HORIZON = 64
+
+
+def default_streaming_checkers() -> list[StreamingChecker]:
+    """Fresh streaming checkers, in the paper's (registry) order."""
+    return [
+        StreamingReadYourWritesChecker(),
+        StreamingMonotonicWritesChecker(),
+        StreamingMonotonicReadsChecker(),
+        StreamingWritesFollowReadsChecker(),
+        StreamingContentDivergenceChecker(),
+        StreamingOrderDivergenceChecker(),
+    ]
+
+
+@dataclass(frozen=True)
+class Emission:
+    """What one operation triggered, live."""
+
+    observations: tuple[AnomalyObservation, ...] = ()
+    window_events: tuple[WindowEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.observations or self.window_events)
+
+
+@dataclass
+class _TestCounters:
+    """Per-open-test bookkeeping outside the checkers."""
+
+    reads: dict[str, int]
+    writes: dict[str, int]
+    min_time: float | None = None
+    max_time: float | None = None
+
+
+class StreamEngine:
+    """Fan-out hub: one op stream in, live emissions + records out.
+
+    Lifecycle mirrors the checkers' — ``open_test`` / ``observe`` (in
+    canonical stream order) / ``close_test`` — and multiple tests may
+    be open at once (the fleet interleaves shards; a trace-event file
+    may interleave tests).
+    """
+
+    def __init__(self, horizon: int | None = DEFAULT_HORIZON,
+                 checkers: list[StreamingChecker] | None = None):
+        self.checkers = (checkers if checkers is not None
+                         else default_streaming_checkers())
+        self.content_windows = streaming_content_windows()
+        self.order_windows = streaming_order_windows()
+        self._counters: dict[str, _TestCounters] = {}
+        #: Distilled records of closed tests, newest last; bounded by
+        #: the eviction horizon (None = keep everything).
+        self.results: deque[TestRecord] = deque(maxlen=horizon)
+        self.tests_closed = 0
+        self.operations_seen = 0
+        #: Authoritative totals, updated as each test closes.
+        self.anomaly_counts: dict[str, int] = {
+            kind: 0 for kind in ALL_ANOMALIES
+        }
+        #: Provisional count of live-surfaced observations (open tests).
+        self.live_observations = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._counters[meta.test_id] = _TestCounters(
+            reads={agent: 0 for agent in meta.agents},
+            writes={agent: 0 for agent in meta.agents},
+        )
+        for checker in self.checkers:
+            checker.open_test(meta)
+        self.content_windows.open_test(meta)
+        self.order_windows.open_test(meta)
+
+    def observe(self, meta: TestMeta, sop: StreamOp) -> Emission:
+        counters = self._counters[meta.test_id]
+        agent = sop.agent
+        if isinstance(sop.op, ReadOp):
+            counters.reads[agent] += 1
+        else:
+            counters.writes[agent] += 1
+        if counters.min_time is None or sop.time < counters.min_time:
+            counters.min_time = sop.time
+        if counters.max_time is None or sop.time > counters.max_time:
+            counters.max_time = sop.time
+        self.operations_seen += 1
+
+        observations: list[AnomalyObservation] = []
+        for checker in self.checkers:
+            observations.extend(checker.observe(meta, sop))
+        events = list(self.content_windows.observe(meta, sop))
+        events.extend(self.order_windows.observe(meta, sop))
+        self.live_observations += len(observations)
+        return Emission(tuple(observations), tuple(events))
+
+    def close_test(self, meta: TestMeta,
+                   trace: TestTrace | None = None) -> TestRecord:
+        """Distill and retire one test.
+
+        Pass the trace only to embed it in the record (the
+        ``keep_traces`` path); the analysis itself never touches it.
+        """
+        counters = self._counters.pop(meta.test_id)
+        observations: list[AnomalyObservation] = []
+        for checker in self.checkers:
+            closed = checker.close_test(meta)
+            self.anomaly_counts[checker.anomaly] += len(closed)
+            observations.extend(closed)
+        report = TraceReport.from_observations(
+            meta.test_id, meta.service, meta.test_type, meta.agents,
+            observations,
+        )
+        content, _ = self.content_windows.close_test(meta)
+        order, _ = self.order_windows.close_test(meta)
+        duration = 0.0
+        if counters.min_time is not None:
+            assert counters.max_time is not None
+            duration = counters.max_time - counters.min_time
+        record = TestRecord(
+            test_id=meta.test_id,
+            test_type=meta.test_type,
+            report=report,
+            content_windows=content,
+            order_windows=order,
+            reads_per_agent=dict(counters.reads),
+            writes_per_agent=dict(counters.writes),
+            duration=duration,
+            trace=trace,
+        )
+        self.results.append(record)
+        self.tests_closed += 1
+        self.live_observations = 0 if not self._counters else \
+            self.live_observations
+        return record
+
+    # -- telemetry ----------------------------------------------------
+
+    @property
+    def open_tests(self) -> int:
+        return len(self._counters)
+
+    def state_size(self) -> int:
+        """Retained state atoms across checkers, trackers, results."""
+        total = sum(c.state_size() for c in self.checkers)
+        total += self.content_windows.state_size()
+        total += self.order_windows.state_size()
+        for counters in self._counters.values():
+            total += len(counters.reads) + len(counters.writes)
+        for record in self.results:
+            total += 1 + sum(
+                len(obs_list)
+                for obs_list in record.report.observations.values()
+            )
+        return total
+
+    def stats(self) -> dict[str, object]:
+        """One snapshot for the live telemetry line."""
+        return {
+            "open_tests": self.open_tests,
+            "tests_closed": self.tests_closed,
+            "operations": self.operations_seen,
+            "state_size": self.state_size(),
+            "anomalies": dict(self.anomaly_counts),
+        }

@@ -1,0 +1,249 @@
+"""Feeding the engine: replay ordering and the live sequencer.
+
+Two ways operations reach a :class:`~repro.stream.engine.StreamEngine`:
+
+* **Replay** — a finished trace (or trace-event file) is sorted into
+  canonical stream order by :func:`stream_order` and pushed through
+  :func:`replay_trace`.  Deterministic, allocation-light, and the
+  reference feed for the parity harness.
+* **Live** — :class:`OpIngest` implements the campaign runner's
+  :class:`~repro.methodology.runner.OperationObserver` protocol.
+  Agents log operations in *true-time* order, which is not canonical
+  order: corrected response times incorporate per-agent clock-delta
+  estimates, so two operations close in true time may swap once
+  corrected.  The sequencer restores canonical order with a watermark
+  buffer — an operation is released only when every agent's latest
+  corrected time has passed it, which is safe because one agent's
+  corrected responses are non-decreasing (single monotonic clock, one
+  delta per test).  The buffer holds at most the ops inside one
+  clock-skew span, plus anything an agent that stopped logging leaves
+  pinned until ``test_closed`` flushes the test.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.trace import Operation, TestTrace, WriteOp
+from repro.errors import AnalysisError
+from repro.io import operation_from_dict, trace_from_meta_dict
+from repro.methodology.runner import TestRecord
+from repro.stream.base import StreamOp, TestMeta
+from repro.stream.engine import Emission, StreamEngine
+
+__all__ = ["stream_order", "replay_trace", "OpIngest", "feed_events"]
+
+#: Called with (meta, sop, emission) for every op that fired something.
+EmissionCallback = Callable[[TestMeta, StreamOp, Emission], None]
+#: Called with (meta, record) when a test closes.
+RecordCallback = Callable[[TestMeta, TestRecord], None]
+
+
+def _sort_key(meta: TestMeta, op: Operation,
+              seq: int) -> tuple[float, int, int]:
+    """Canonical stream order key (see :mod:`repro.stream.base`)."""
+    time = meta.corrected(op.agent, op.response_local)
+    return (time, 0 if isinstance(op, WriteOp) else 1, seq)
+
+
+def stream_order(trace: TestTrace,
+                 meta: TestMeta | None = None) -> list[StreamOp]:
+    """A finished trace's operations as a canonical-order stream.
+
+    ``seq`` is the recording index (the batch stable-sort tie-break);
+    ``read_seq`` numbers the reads in canonical order, matching their
+    index in the batch ``trace.reads()`` list.
+    """
+    meta = meta or TestMeta.from_trace(trace)
+    ordered = sorted(
+        enumerate(trace.operations),
+        key=lambda pair: _sort_key(meta, pair[1], pair[0]),
+    )
+    stream: list[StreamOp] = []
+    read_seq = 0
+    for seq, op in ordered:
+        is_write = isinstance(op, WriteOp)
+        stream.append(StreamOp(
+            op=op,
+            time=meta.corrected(op.agent, op.response_local),
+            invoke=meta.corrected(op.agent, op.invoke_local),
+            seq=seq,
+            read_seq=-1 if is_write else read_seq,
+        ))
+        if not is_write:
+            read_seq += 1
+    return stream
+
+
+def replay_trace(trace: TestTrace, engine: StreamEngine,
+                 keep_trace: bool = False) -> TestRecord:
+    """Push one finished trace through the engine, return its record."""
+    meta = TestMeta.from_trace(trace)
+    engine.open_test(meta)
+    for sop in stream_order(trace, meta):
+        engine.observe(meta, sop)
+    return engine.close_test(
+        meta, trace=trace if keep_trace else None
+    )
+
+
+@dataclass
+class _LiveTest:
+    """Sequencer state for one in-flight test."""
+
+    meta: TestMeta
+    #: Min-heap of (time, write-rank, seq, op, corrected invoke).
+    buffer: list[tuple[float, int, int, Operation, float]] = field(
+        default_factory=list
+    )
+    #: agent -> corrected response of its latest logged op.
+    frontier: dict[str, float] = field(default_factory=dict)
+    next_seq: int = 0
+    next_read_seq: int = 0
+
+
+class OpIngest:
+    """Live observer: true-time callbacks in, canonical stream out.
+
+    Wire into a campaign with ``run_campaign(observer=OpIngest(...))``;
+    to *replace* the batch analysis entirely, also pass
+    :meth:`analyzer` so each finished trace's record comes from the
+    engine instead of a second batch pass.
+    """
+
+    def __init__(self, engine: StreamEngine | None = None,
+                 on_emission: EmissionCallback | None = None,
+                 on_record: RecordCallback | None = None,
+                 keep_traces: bool = False):
+        self.engine = engine if engine is not None else StreamEngine()
+        self.on_emission = on_emission
+        self.on_record = on_record
+        self.keep_traces = keep_traces
+        self._tests: dict[str, _LiveTest] = {}
+        #: test_id -> distilled record, for the analyzer fast path.
+        self._records: dict[str, TestRecord] = {}
+
+    # -- OperationObserver protocol -----------------------------------
+
+    def test_opened(self, trace: TestTrace) -> None:
+        meta = TestMeta.from_trace(trace)
+        self._tests[trace.test_id] = _LiveTest(meta=meta)
+        self.engine.open_test(meta)
+
+    def operation(self, trace: TestTrace, op: Operation) -> None:
+        live = self._tests[trace.test_id]
+        meta = live.meta
+        time = meta.corrected(op.agent, op.response_local)
+        invoke = meta.corrected(op.agent, op.invoke_local)
+        heapq.heappush(live.buffer, (
+            time, 0 if isinstance(op, WriteOp) else 1,
+            live.next_seq, op, invoke,
+        ))
+        live.next_seq += 1
+        live.frontier[op.agent] = time
+        self._release(live)
+
+    def test_closed(self, trace: TestTrace) -> None:
+        live = self._tests.pop(trace.test_id)
+        self._drain(live, float("inf"))
+        record = self.engine.close_test(
+            live.meta, trace=trace if self.keep_traces else None
+        )
+        self._records[trace.test_id] = record
+        if self.on_record is not None:
+            self.on_record(live.meta, record)
+
+    # -- analyzer fast path -------------------------------------------
+
+    def analyzer(self, trace: TestTrace,
+                 keep_trace: bool = False) -> TestRecord:
+        """Drop-in for ``analyze_trace`` when this observer is wired.
+
+        ``run_campaign`` calls the analyzer right after signalling
+        ``test_closed``, so the record is already distilled; the batch
+        re-check is skipped entirely.  (``keep_trace`` is honored via
+        the constructor's ``keep_traces`` — the engine embedded the
+        trace when the record was built.)
+        """
+        del keep_trace
+        return self._records.pop(trace.test_id)
+
+    # -- sequencing ---------------------------------------------------
+
+    def _release(self, live: _LiveTest) -> None:
+        """Emit every buffered op the watermark has safely passed.
+
+        The watermark is the slowest agent's latest corrected time; an
+        agent that has not logged yet pins it at -inf (everything
+        waits — at test start that resolves with the first read
+        burst).  Strictly-below comparison: an op *at* the watermark
+        could still be preceded by a tied write from the slowest
+        agent.
+        """
+        frontier = live.frontier
+        if len(frontier) < len(live.meta.agents):
+            return
+        watermark = min(frontier.values())
+        self._drain(live, watermark)
+
+    def _drain(self, live: _LiveTest, watermark: float) -> None:
+        meta = live.meta
+        while live.buffer and live.buffer[0][0] < watermark:
+            time, _, seq, op, invoke = heapq.heappop(live.buffer)
+            read_seq = -1
+            if not isinstance(op, WriteOp):
+                read_seq = live.next_read_seq
+                live.next_read_seq += 1
+            sop = StreamOp(op=op, time=time, invoke=invoke, seq=seq,
+                           read_seq=read_seq)
+            emission = self.engine.observe(meta, sop)
+            if emission and self.on_emission is not None:
+                self.on_emission(meta, sop, emission)
+
+    def state_size(self) -> int:
+        """Buffered (not yet released) operations across open tests."""
+        return sum(len(live.buffer) for live in self._tests.values())
+
+
+def feed_events(events: Iterable[dict],
+                ingest: OpIngest) -> Iterator[dict]:
+    """Drive an :class:`OpIngest` from parsed trace events.
+
+    ``events`` is what :func:`repro.io.iter_trace_events` yields — the
+    standalone entry point for JSONL trace files (fleet shard archives,
+    ``run --trace-out`` output, live ``--follow`` tails).  Each event is
+    re-yielded after it has been applied, so a caller can interleave
+    telemetry at any cadence.  Tests still open when the iterator is
+    exhausted are left open: a follow-mode consumer may resume them.
+    """
+    shells: dict[str, TestTrace] = {}
+    for event in events:
+        kind = event.get("event")
+        if kind == "test_open":
+            shell = trace_from_meta_dict(event)
+            shells[shell.test_id] = shell
+            ingest.test_opened(shell)
+        elif kind == "op":
+            try:
+                shell = shells[event["test_id"]]
+            except KeyError:
+                raise AnalysisError(
+                    f"op event for unknown test "
+                    f"{event.get('test_id')!r} (missing test_open?)"
+                ) from None
+            ingest.operation(shell, operation_from_dict(event))
+        elif kind == "test_close":
+            shell = shells.pop(event["test_id"], None)
+            if shell is None:
+                raise AnalysisError(
+                    f"test_close for unknown test "
+                    f"{event.get('test_id')!r}"
+                )
+            ingest.test_closed(shell)
+        else:
+            raise AnalysisError(
+                f"unknown trace event kind {kind!r}"
+            )
+        yield event

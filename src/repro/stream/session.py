@@ -1,0 +1,434 @@
+"""Streaming session-guarantee checkers (RYW, MW, MR, WFR).
+
+Each checker re-expresses its batch counterpart in
+:mod:`repro.core.anomalies` as an incremental algorithm over the
+canonical op stream (see :mod:`repro.stream.base`), holding per-session
+summaries instead of the trace:
+
+* **Read Your Writes** — per agent, the test's completed writes
+  (``(invoke, response, id)`` triples); a read is checked against its
+  own session's high-water writes the moment it arrives.
+* **Monotonic Writes** — per writer session, completed writes with
+  their reference-frame response times; every arriving read is checked
+  against each session's prefix visible at its invocation.
+* **Monotonic Reads** — per agent, the union of message ids returned
+  by its reads so far (the classic version-vector-style seen-set).
+* **Writes Follow Reads** — per write, its causal dependency set
+  (computed the moment the write arrives, from the trigger map or the
+  author's first-seen times); reads are checked immediately for writes
+  already ingested, and *deferred* for observed writes whose own log
+  entry is still in flight — the one case where evidence is
+  information-theoretically incomplete at read time.
+
+State is O(agents x active-keys) per open test and is dropped whole at
+``close_test``.  Output parity: ``close_test`` returns the batch
+checker's exact list (order included); the per-agent grouping the
+batch RYW/MR loops produce is restored by sorting emissions on
+``(agent index, arrival order)``, which is valid because canonical
+order restricted to one agent equals its local session order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.anomalies.base import (
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    READ_YOUR_WRITES,
+    WRITES_FOLLOW_READS,
+    AnomalyObservation,
+)
+from repro.core.trace import ReadOp, WriteOp
+from repro.stream.base import StreamingChecker, StreamOp, TestMeta
+
+__all__ = [
+    "StreamingReadYourWritesChecker",
+    "StreamingMonotonicWritesChecker",
+    "StreamingMonotonicReadsChecker",
+    "StreamingWritesFollowReadsChecker",
+]
+
+
+@dataclass
+class _WriteEntry:
+    """One completed write in a session's high-water list."""
+
+    invoke_local: float
+    seq: int
+    response_local: float
+    time: float  # corrected response
+    message_id: str
+
+
+def _session_order(writes: list[_WriteEntry]) -> list[_WriteEntry]:
+    """Writes in session (local invocation) order.
+
+    Mirrors ``trace.writes_by``: a stable sort by invocation instant,
+    ties resolved by recording order (``seq``).
+    """
+    return sorted(writes, key=lambda w: (w.invoke_local, w.seq))
+
+
+class StreamingReadYourWritesChecker(StreamingChecker):
+    """Reads missing the reader's own completed writes, online."""
+
+    anomaly = READ_YOUR_WRITES
+
+    def __init__(self) -> None:
+        #: test_id -> agent -> completed writes.
+        self._writes: dict[str, dict[str, list[_WriteEntry]]] = {}
+        #: test_id -> [((agent_index, arrival), observation)].
+        self._emitted: dict[str, list[tuple[tuple, object]]] = {}
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._writes[meta.test_id] = {a: [] for a in meta.agents}
+        self._emitted[meta.test_id] = []
+
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[AnomalyObservation]:
+        op = sop.op
+        if isinstance(op, WriteOp):
+            self._writes[meta.test_id][op.agent].append(_WriteEntry(
+                op.invoke_local, sop.seq, op.response_local,
+                sop.time, op.message_id,
+            ))
+            return []
+        assert isinstance(op, ReadOp)
+        session = _session_order(
+            self._writes[meta.test_id][op.agent]
+        )
+        missing = tuple(
+            w.message_id for w in session
+            if w.response_local <= op.invoke_local
+            and w.message_id not in op.observed
+        )
+        if not missing:
+            return []
+        obs = AnomalyObservation(
+            anomaly=self.anomaly,
+            agent=op.agent,
+            time=sop.time,
+            details={"missing": missing, "observed": op.observed},
+        )
+        emitted = self._emitted[meta.test_id]
+        emitted.append(
+            ((meta.agent_index(op.agent), len(emitted)), obs)
+        )
+        return [obs]
+
+    def close_test(self, meta: TestMeta) -> list[AnomalyObservation]:
+        self._writes.pop(meta.test_id, None)
+        emitted = self._emitted.pop(meta.test_id, [])
+        return [obs for _, obs in sorted(emitted,
+                                         key=lambda e: e[0])]
+
+    def state_size(self) -> int:
+        return sum(
+            len(entries)
+            for per_agent in self._writes.values()
+            for entries in per_agent.values()
+        ) + sum(len(emitted) for emitted in self._emitted.values())
+
+
+class StreamingMonotonicWritesChecker(StreamingChecker):
+    """Per-session write-order violations in any read, online."""
+
+    anomaly = MONOTONIC_WRITES
+
+    def __init__(self) -> None:
+        self._writes: dict[str, dict[str, list[_WriteEntry]]] = {}
+        self._emitted: dict[str, list] = {}
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._writes[meta.test_id] = {a: [] for a in meta.agents}
+        self._emitted[meta.test_id] = []
+
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[AnomalyObservation]:
+        op = sop.op
+        if isinstance(op, WriteOp):
+            self._writes[meta.test_id][op.agent].append(_WriteEntry(
+                op.invoke_local, sop.seq, op.response_local,
+                sop.time, op.message_id,
+            ))
+            return []
+        assert isinstance(op, ReadOp)
+        fired: list[AnomalyObservation] = []
+        for writer in meta.agents:
+            session = _session_order([
+                w for w in self._writes[meta.test_id][writer]
+                if w.time <= sop.invoke
+            ])
+            if len(session) < 2:
+                continue
+            violation = _session_violation(
+                [w.message_id for w in session], op.observed
+            )
+            if violation is None:
+                continue
+            missing, reordered = violation
+            fired.append(AnomalyObservation(
+                anomaly=self.anomaly,
+                agent=op.agent,
+                time=sop.time,
+                details={
+                    "writer": writer,
+                    "missing": missing,
+                    "reordered": reordered,
+                    "observed": op.observed,
+                },
+            ))
+        self._emitted[meta.test_id].extend(fired)
+        return fired
+
+    def close_test(self, meta: TestMeta) -> list[AnomalyObservation]:
+        # Emission order is already batch order: reads arrive in the
+        # batch ``trace.reads()`` order, writers iterate in agent
+        # order within each read.
+        self._writes.pop(meta.test_id, None)
+        return self._emitted.pop(meta.test_id, [])
+
+    def state_size(self) -> int:
+        return sum(
+            len(entries)
+            for per_agent in self._writes.values()
+            for entries in per_agent.values()
+        ) + sum(len(emitted) for emitted in self._emitted.values())
+
+
+def _session_violation(
+    session_ids: list[str], observed: tuple[str, ...]
+) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]] | None:
+    """One writer session against one read's sequence.
+
+    Exact mirror of the batch checker's ``_session_violation`` (same
+    pair enumeration order, same de-duplication), expressed over
+    message ids instead of :class:`WriteOp` objects.
+    """
+    positions = {mid: i for i, mid in enumerate(observed)}
+    missing: list[str] = []
+    reordered: list[tuple[str, str]] = []
+    for i, earlier in enumerate(session_ids):
+        for later in session_ids[i + 1:]:
+            later_pos = positions.get(later)
+            if later_pos is None:
+                continue
+            earlier_pos = positions.get(earlier)
+            if earlier_pos is None:
+                missing.append(earlier)
+            elif later_pos < earlier_pos:
+                reordered.append((earlier, later))
+    if not missing and not reordered:
+        return None
+    return tuple(dict.fromkeys(missing)), tuple(reordered)
+
+
+class StreamingMonotonicReadsChecker(StreamingChecker):
+    """Messages vanishing between successive session reads, online."""
+
+    anomaly = MONOTONIC_READS
+
+    def __init__(self) -> None:
+        #: test_id -> agent -> union of ids its reads returned so far.
+        self._seen: dict[str, dict[str, set[str]]] = {}
+        self._emitted: dict[str, list[tuple[tuple, object]]] = {}
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._seen[meta.test_id] = {a: set() for a in meta.agents}
+        self._emitted[meta.test_id] = []
+
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[AnomalyObservation]:
+        op = sop.op
+        if not isinstance(op, ReadOp):
+            return []
+        seen = self._seen[meta.test_id][op.agent]
+        missing = seen.difference(op.observed)
+        fired: list[AnomalyObservation] = []
+        if missing:
+            obs = AnomalyObservation(
+                anomaly=self.anomaly,
+                agent=op.agent,
+                time=sop.time,
+                details={
+                    "missing": tuple(sorted(missing)),
+                    "observed": op.observed,
+                },
+            )
+            emitted = self._emitted[meta.test_id]
+            emitted.append(
+                ((meta.agent_index(op.agent), len(emitted)), obs)
+            )
+            fired.append(obs)
+        seen.update(op.observed)
+        return fired
+
+    def close_test(self, meta: TestMeta) -> list[AnomalyObservation]:
+        self._seen.pop(meta.test_id, None)
+        emitted = self._emitted.pop(meta.test_id, [])
+        return [obs for _, obs in sorted(emitted,
+                                         key=lambda e: e[0])]
+
+    def state_size(self) -> int:
+        return sum(
+            len(ids)
+            for per_agent in self._seen.values()
+            for ids in per_agent.values()
+        ) + sum(len(emitted) for emitted in self._emitted.values())
+
+
+@dataclass
+class _PendingWfr:
+    """A read that observed a write whose log entry has not arrived."""
+
+    read_seq: int
+    position: int
+    message_id: str
+    visible: frozenset[str]
+    observed: tuple[str, ...]
+    agent: str
+    time: float
+
+
+@dataclass
+class _WfrState:
+    """Per-test WFR state."""
+
+    #: message_id -> dependency set, fixed the moment the write arrives.
+    deps: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: agent -> message_id -> earliest local response instant at which
+    #: one of the agent's reads returned it (generic-mode derivation).
+    first_seen: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+    pending: list[_PendingWfr] = field(default_factory=list)
+    #: [((read_seq, position), observation)] — merged at close.
+    emitted: list[tuple[tuple[int, int], AnomalyObservation]] = field(
+        default_factory=list
+    )
+
+
+class StreamingWritesFollowReadsChecker(StreamingChecker):
+    """Reactions visible without the messages they followed, online."""
+
+    anomaly = WRITES_FOLLOW_READS
+
+    def __init__(self) -> None:
+        self._state: dict[str, _WfrState] = {}
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._state[meta.test_id] = _WfrState(
+            first_seen={a: {} for a in meta.agents}
+        )
+
+    def _dependencies(self, meta: TestMeta, state: _WfrState,
+                      write: WriteOp) -> frozenset[str]:
+        """Mirror of ``trace.dependencies_of`` at write-arrival time.
+
+        Valid because canonical order restricted to the author equals
+        its session order: every read of the author that completed
+        before this write's invocation has already arrived.
+        """
+        if meta.wfr_triggers:
+            return meta.wfr_triggers.get(write.message_id, frozenset())
+        seen = state.first_seen[write.agent]
+        observed = {
+            mid for mid, first in seen.items()
+            if first <= write.invoke_local
+        }
+        observed.discard(write.message_id)
+        return frozenset(observed)
+
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[AnomalyObservation]:
+        state = self._state[meta.test_id]
+        op = sop.op
+        fired: list[AnomalyObservation] = []
+        if isinstance(op, WriteOp):
+            deps = self._dependencies(meta, state, op)
+            state.deps[op.message_id] = deps
+            # Resolve reads that observed this write before its own
+            # log entry arrived.
+            still_pending: list[_PendingWfr] = []
+            for entry in state.pending:
+                if entry.message_id != op.message_id:
+                    still_pending.append(entry)
+                    continue
+                missing = deps - entry.visible
+                if missing:
+                    obs = AnomalyObservation(
+                        anomaly=self.anomaly,
+                        agent=entry.agent,
+                        time=entry.time,
+                        details={
+                            "write": entry.message_id,
+                            "missing_dependencies":
+                                tuple(sorted(missing)),
+                            "observed": entry.observed,
+                        },
+                    )
+                    state.emitted.append(
+                        ((entry.read_seq, entry.position), obs)
+                    )
+                    fired.append(obs)
+            state.pending = still_pending
+            return fired
+        assert isinstance(op, ReadOp)
+        visible = frozenset(op.observed)
+        for position, message_id in enumerate(op.observed):
+            deps = state.deps.get(message_id)
+            if deps is None:
+                # The write itself is still in flight; its dependency
+                # set is unknowable until it is logged.
+                state.pending.append(_PendingWfr(
+                    read_seq=sop.read_seq,
+                    position=position,
+                    message_id=message_id,
+                    visible=visible,
+                    observed=op.observed,
+                    agent=op.agent,
+                    time=sop.time,
+                ))
+                continue
+            if not deps:
+                continue
+            missing = deps - visible
+            if missing:
+                obs = AnomalyObservation(
+                    anomaly=self.anomaly,
+                    agent=op.agent,
+                    time=sop.time,
+                    details={
+                        "write": message_id,
+                        "missing_dependencies":
+                            tuple(sorted(missing)),
+                        "observed": op.observed,
+                    },
+                )
+                state.emitted.append(
+                    ((sop.read_seq, position), obs)
+                )
+                fired.append(obs)
+        first_seen = state.first_seen[op.agent]
+        for message_id in op.observed:
+            first_seen.setdefault(message_id, op.response_local)
+        return fired
+
+    def close_test(self, meta: TestMeta) -> list[AnomalyObservation]:
+        # Unresolved pending entries mean the observed write was never
+        # logged in this test (e.g. a write whose response was lost);
+        # the batch checker has no dependency entry for such ids and
+        # skips them — so do we.
+        state = self._state.pop(meta.test_id)
+        return [obs for _, obs in sorted(state.emitted,
+                                         key=lambda e: e[0])]
+
+    def state_size(self) -> int:
+        total = 0
+        for state in self._state.values():
+            total += len(state.deps) + len(state.pending)
+            total += len(state.emitted)
+            total += sum(len(seen)
+                         for seen in state.first_seen.values())
+        return total

@@ -1,0 +1,183 @@
+"""Online divergence-window computation (§III.2 / §IV, live).
+
+:func:`repro.core.windows.divergence_windows` replays a finished trace:
+it merges both agents' view step functions, then evaluates the
+divergence predicate at every change point.  This module re-expresses
+that computation as interval **open/close events** over the live
+stream: each read is a step of its agent's view function, and because
+canonical stream order delivers reads in ascending corrected response
+time, the change points arrive already sorted.
+
+The one wrinkle is ties.  The batch code evaluates the predicate once
+per *distinct* change point, after advancing both timelines past every
+read at that instant.  The streaming tracker therefore commits lazily:
+reads at the same corrected time only overwrite the pending views, and
+the predicate runs when the first strictly-later read (or the end of
+test) proves the instant complete.  Each commit that flips the
+predicate emits a :class:`WindowEvent` — the live "pair X diverged at
+t" / "pair X reconverged at t" telemetry feed — and the closed
+intervals accumulate into exactly the batch
+:class:`~repro.core.windows.WindowResult`, unconverged final interval
+and all.
+
+State per open test: one (view, pending time, window start) triple per
+agent pair — O(pairs), independent of trace length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.anomalies.content_divergence import (
+    views_content_diverged,
+)
+from repro.core.anomalies.order_divergence import views_order_diverged
+from repro.core.trace import ReadOp
+from repro.core.windows import WindowResult
+from repro.stream.base import StreamOp, TestMeta
+
+__all__ = [
+    "WindowEvent",
+    "StreamingWindowTracker",
+    "streaming_content_windows",
+    "streaming_order_windows",
+]
+
+ViewPredicate = Callable[[tuple[str, ...], tuple[str, ...]], bool]
+
+
+@dataclass(frozen=True)
+class WindowEvent:
+    """A divergence window opening or closing, live.
+
+    ``kind`` is ``"content"`` or ``"order"``; ``action`` is
+    ``"opened"`` or ``"closed"``.  For ``closed`` events ``start``
+    carries the matching open time, so a consumer can render the
+    completed interval without keeping its own per-pair state.
+    """
+
+    kind: str
+    action: str
+    pair: tuple[str, str]
+    time: float
+    start: float | None = None
+
+
+@dataclass
+class _PairWindows:
+    """Window state for one agent pair in one test."""
+
+    pair: tuple[str, str]
+    views: dict[str, tuple[str, ...]]
+    #: Latest corrected read time seen, not yet evaluated.
+    pending: float | None = None
+    window_start: float | None = None
+    intervals: list[tuple[float, float]] = field(default_factory=list)
+
+    def commit(self, predicate: ViewPredicate) -> WindowEvent | None:
+        """Evaluate the predicate at the pending change point."""
+        if self.pending is None:
+            return None
+        time = self.pending
+        left, right = self.pair
+        diverged = predicate(self.views[left], self.views[right])
+        if diverged and self.window_start is None:
+            self.window_start = time
+            return WindowEvent(kind="", action="opened",
+                               pair=self.pair, time=time)
+        if not diverged and self.window_start is not None:
+            start = self.window_start
+            self.intervals.append((start, time))
+            self.window_start = None
+            return WindowEvent(kind="", action="closed",
+                               pair=self.pair, time=time,
+                               start=start)
+        return None
+
+
+class StreamingWindowTracker:
+    """Track divergence windows for every agent pair of open tests.
+
+    Same per-test lifecycle as a :class:`StreamingChecker`, but the
+    product is different: ``observe`` returns live
+    :class:`WindowEvent` transitions and ``close_test`` returns the
+    per-pair :class:`WindowResult` dict in the exact shape (and
+    insertion order) ``analyze_trace`` builds.
+    """
+
+    def __init__(self, kind: str, predicate: ViewPredicate) -> None:
+        self.kind = kind
+        self.predicate = predicate
+        self._pairs: dict[str, list[_PairWindows]] = {}
+
+    def open_test(self, meta: TestMeta) -> None:
+        self._pairs[meta.test_id] = [
+            _PairWindows(
+                pair=tuple(sorted((first, second))),
+                views={first: (), second: ()},
+            )
+            for first, second in meta.agent_pairs()
+        ]
+
+    def observe(self, meta: TestMeta,
+                sop: StreamOp) -> list[WindowEvent]:
+        op = sop.op
+        if not isinstance(op, ReadOp):
+            return []
+        events: list[WindowEvent] = []
+        for state in self._pairs[meta.test_id]:
+            if op.agent not in state.views:
+                continue
+            if state.pending is not None and sop.time > state.pending:
+                event = state.commit(self.predicate)
+                if event is not None:
+                    events.append(self._stamp(event))
+            state.views[op.agent] = op.observed
+            state.pending = sop.time
+        return events
+
+    def close_test(
+        self, meta: TestMeta
+    ) -> tuple[dict[tuple[str, str], WindowResult],
+               list[WindowEvent]]:
+        """Final windows per pair, plus any last transitions."""
+        events: list[WindowEvent] = []
+        windows: dict[tuple[str, str], WindowResult] = {}
+        for state in self._pairs.pop(meta.test_id):
+            event = state.commit(self.predicate)
+            if event is not None:
+                events.append(self._stamp(event))
+            converged = state.window_start is None
+            if state.window_start is not None:
+                # Still divergent at the last observation — close the
+                # interval there and flag the pair (batch semantics).
+                assert state.pending is not None
+                state.intervals.append(
+                    (state.window_start, state.pending)
+                )
+            windows[state.pair] = WindowResult(
+                pair=state.pair,
+                intervals=tuple(state.intervals),
+                converged=converged,
+            )
+        return windows, events
+
+    def _stamp(self, event: WindowEvent) -> WindowEvent:
+        return WindowEvent(kind=self.kind, action=event.action,
+                           pair=event.pair, time=event.time,
+                           start=event.start)
+
+    def state_size(self) -> int:
+        return sum(
+            len(states) + sum(len(s.intervals) for s in states)
+            for states in self._pairs.values()
+        )
+
+
+def streaming_content_windows() -> StreamingWindowTracker:
+    return StreamingWindowTracker("content", views_content_diverged)
+
+
+def streaming_order_windows() -> StreamingWindowTracker:
+    return StreamingWindowTracker("order", views_order_diverged)

@@ -335,7 +335,34 @@ class TestDET004:
         assert config.in_aggregation_scope("repro.analysis.cdf")
         assert config.in_aggregation_scope("repro.io")
         assert config.in_aggregation_scope("repro.methodology.sweep")
+        assert config.in_aggregation_scope("repro.stream")
+        assert config.in_aggregation_scope("repro.stream.engine")
         assert not config.in_aggregation_scope("repro.lint.engine")
+
+    def test_stream_module_covered_by_default_config(self, tmp_path):
+        """A repro.stream module summing per-shard telemetry over a
+        dict view is caught under the *default* config — the streaming
+        engine merges live results and so sits in aggregation scope."""
+        (tmp_path / "repro" / "stream").mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (tmp_path / "repro" / "stream" / "__init__.py").write_text("")
+        kept, _ = lint_snippet(
+            tmp_path, """\
+                __all__ = ["total_state"]
+
+
+                def total_state(state_by_shard):
+                    return sum(state_by_shard.values())
+            """,
+            filename="repro/stream/telemetry.py",
+            config=LintConfig(),
+        )
+        det = [f for f in kept if f.code == "DET004"]
+        assert len(det) == 1
+
+    def test_pyproject_aggregation_scopes_include_stream(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert "repro.stream" in config.aggregation_scopes
 
 
 class TestTRACE001:

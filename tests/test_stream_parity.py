@@ -1,0 +1,147 @@
+"""Streaming/batch differential parity (the repro.stream anchor).
+
+The streaming engine is only trustworthy because it is *provably* the
+batch pipeline re-ordered: every checker, every window, every record
+field must come out element-for-element identical.  These tests drive
+that contract three ways:
+
+* randomized synthetic traces from a seeded
+  :class:`~repro.sim.random_source.RandomSource` — adversarial
+  orderings (concurrent zero-gap ops, skewed clocks, partial and
+  reordered observations) that no single service plan exercises;
+* real simulator campaigns across services, including masked sessions
+  (``mask_sessions=True``) and the Facebook-group partition nemesis
+  whose partition-era reads stress divergence windows;
+* the *live* path: a campaign analyzed by :class:`OpIngest` online
+  must produce records indistinguishable from the batch analyzer's.
+"""
+
+import pytest
+
+from repro.methodology import CampaignConfig, run_campaign
+from repro.methodology.runner import analyze_trace
+from repro.sim.random_source import RandomSource
+from repro.stream import OpIngest, record_mismatches, verify_trace
+from tests.helpers import make_trace, read, write
+
+AGENTS = ("oregon", "tokyo", "ireland")
+
+
+def random_trace(seed: int):
+    """One adversarial trace drawn from a seeded stream.
+
+    Ops get small random gaps (often zero → heavy time ties), each
+    agent a random clock delta, reads observe a random-order sample of
+    the issued message ids (omitting freely), and about half the
+    traces carry explicit WFR triggers.  Reads may be zero-duration
+    (stressing the writes-first tie-break); writes always take
+    positive time, as every real trace's do — a zero-duration write
+    is the one documented degenerate case outside the streaming
+    order's contract (see :mod:`repro.stream.base`).
+    """
+    rng = RandomSource(seed=seed).stream("parity.trace")
+    deltas = {agent: rng.uniform(-0.5, 0.5) for agent in AGENTS}
+    operations = []
+    issued: list[str] = []
+    triggers: dict[str, frozenset[str]] = {}
+    clock = {agent: rng.uniform(0.0, 0.2) for agent in AGENTS}
+    for index in range(rng.randrange(12, 40)):
+        agent = AGENTS[rng.randrange(0, len(AGENTS))]
+        at = clock[agent]
+        if issued and rng.random() < 0.55:
+            latency = rng.choice((0.0, 0.0, 0.01, 0.05, 0.2))
+            count = rng.randrange(0, len(issued) + 1)
+            observed = rng.sample(issued, count)
+            operations.append(
+                read(agent, tuple(observed), at, response=at + latency)
+            )
+        else:
+            latency = rng.choice((0.01, 0.05, 0.2))
+            mid = f"m{index}"
+            operations.append(
+                write(agent, mid, at, response=at + latency)
+            )
+            if issued and rng.random() < 0.5:
+                triggers[mid] = frozenset(
+                    issued[rng.randrange(0, len(issued))]
+                    for _ in range(rng.randrange(1, 3))
+                )
+            issued.append(mid)
+        clock[agent] = at + latency + rng.choice((0.0, 0.01, 0.3))
+    return make_trace(
+        operations,
+        agents=AGENTS,
+        test_id=f"rand-{seed}",
+        clock_deltas=deltas,
+        wfr_triggers=triggers if seed % 2 else {},
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_streaming_equals_batch(self, seed):
+        assert verify_trace(random_trace(seed)) == []
+
+    def test_random_traces_are_not_trivially_clean(self):
+        """The fuzz corpus actually exercises the anomaly paths."""
+        seen = set()
+        for seed in range(30):
+            record = analyze_trace(random_trace(seed))
+            seen.update(kind for kind, obs
+                        in record.report.observations.items() if obs)
+        assert {"read_your_writes", "monotonic_writes",
+                "monotonic_reads", "content_divergence",
+                "order_divergence"} <= seen
+
+
+def campaign_traces(service, **overrides):
+    config = CampaignConfig(num_tests=3, seed=29, keep_traces=True,
+                            **overrides)
+    result = run_campaign(service, config)
+    traces = [record.trace for record in result.records]
+    assert traces and all(t is not None for t in traces)
+    return traces
+
+
+class TestCampaignParity:
+    @pytest.mark.parametrize("service", ["blogger", "googleplus"])
+    def test_paper_services(self, service):
+        for trace in campaign_traces(service):
+            assert verify_trace(trace) == []
+
+    def test_masked_sessions(self):
+        """Client-side masking rewrites observations; parity holds."""
+        for trace in campaign_traces("facebook_feed",
+                                     mask_sessions=True):
+            assert verify_trace(trace) == []
+
+    def test_partition_nemesis_reads(self):
+        """Facebook-group test2 runs under the partition nemesis, so
+        partition-era reads produce real divergence windows."""
+        traces = campaign_traces("facebook_group",
+                                 test_types=("test2",))
+        divergent = 0
+        for trace in traces:
+            assert verify_trace(trace) == []
+            report = analyze_trace(trace).report
+            divergent += bool(report.has("content_divergence")
+                              or report.has("order_divergence"))
+        assert divergent, "nemesis campaign produced no divergence"
+
+
+class TestLiveIngestParity:
+    def test_campaign_records_identical_online(self):
+        """A campaign analyzed live by OpIngest (watermark sequencer,
+        per-op observe) equals the batch analyzer record-for-record."""
+        config = CampaignConfig(num_tests=4, seed=17)
+        batch = run_campaign("googleplus", config)
+        ingest = OpIngest()
+        live = run_campaign("googleplus", config,
+                            observer=ingest, analyzer=ingest.analyzer)
+        assert len(live.records) == len(batch.records)
+        for expected, actual in zip(batch.records, live.records):
+            assert record_mismatches(expected, actual) == []
+        # Everything closed and drained: no open tests, no buffered
+        # ops waiting on the watermark.
+        assert ingest.engine.open_tests == 0
+        assert ingest.state_size() == 0
