@@ -19,6 +19,7 @@ import time
 
 from repro.methodology import CampaignConfig, run_campaign
 from repro.methodology.runner import analyze_trace
+from repro.obs import ObsContext
 from repro.stream import StreamEngine, TestMeta, replay_trace
 from repro.stream.ingest import stream_order
 from tests.helpers import make_trace, read, write
@@ -45,7 +46,9 @@ def test_streaming_vs_batch_throughput(benchmark):
     batch_s = time.perf_counter() - t0
 
     def stream_all():
-        engine = StreamEngine(horizon=1)
+        # Obs on: the measured path must absorb the instrumentation
+        # cost (the acceptance contract caps the overhead).
+        engine = StreamEngine(horizon=1, obs=ObsContext())
         for trace in traces:
             replay_trace(trace, engine)
         return engine

@@ -24,9 +24,8 @@ from repro.methodology import (
 from repro.net.topology import IRELAND, OREGON
 from repro.replication import EventualGroup, EventualParams
 from repro.services import SERVICE_CLASSES
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.webapi import (
-    ApiClient,
     RateLimit,
     ServiceEndpoint,
     SlidingWindowRateLimiter,
@@ -96,13 +95,10 @@ class StickyCacheService(OnlineService):
                 view.append(own)
         return {"messages": list(reversed(view))}  # newest first
 
-    def create_session(self, agent, agent_host):
-        account = self._accounts.create_account(agent)
-        client = ApiClient(self._network, agent_host, "sticky-api",
-                           account.token)
-        return ServiceSession(client, account,
-                              post_path=POSTS_PATH,
-                              fetch_path=POSTS_PATH)
+    def session_routes(self, agent_host):
+        return SessionRoutes(api_host="sticky-api",
+                             post_path=POSTS_PATH,
+                             fetch_path=POSTS_PATH)
 
 
 def main() -> None:

@@ -43,6 +43,7 @@ class MeasurementAgent:
         self.host = host
         self.clock = clock
         self.session = session
+        self._obs = network.obs
         # Answer the coordinator's Cristian time queries.
         network.attach(host, rpc_handler=make_time_query_handler(clock))
         self._trace: TestTrace | None = None
@@ -87,20 +88,39 @@ class MeasurementAgent:
         """
         invoke_local = self.clock.now()
         true_invoke = self._sim.now
+        span = None
+        if self._obs is not None:
+            span = self._obs.tracer.start("agent.write",
+                                          agent=self.name)
         attempt = 0
-        while True:
-            try:
-                yield self.session.post_message(message_id)
-                break
-            except RateLimitExceededError as exc:
-                self.failed_requests += 1
-                attempt += 1
-                if attempt > retries:
+        wire_requests = 0
+        ok = False
+        # The finally clause closes the span on *every* exit path —
+        # success, retry exhaustion, hard failure — so span attempt
+        # totals always reconcile with the client's wire counters.
+        try:
+            while True:
+                try:
+                    wire_requests += 1
+                    yield self.session.post_message(message_id)
+                    break
+                except RateLimitExceededError as exc:
+                    self.failed_requests += 1
+                    attempt += 1
+                    if attempt > retries:
+                        return False
+                    yield exc.retry_after or 1.0
+                except (ServiceError, HostUnreachableError):
+                    self.failed_requests += 1
                     return False
-                yield exc.retry_after or 1.0
-            except (ServiceError, HostUnreachableError):
-                self.failed_requests += 1
-                return False
+            ok = True
+        finally:
+            if span is not None:
+                self._obs.tracer.finish(
+                    span, message_id=message_id,
+                    attempts=wire_requests, rate_limited=attempt,
+                    ok=ok,
+                )
         self.total_writes += 1
         if self._trace is not None:
             self._trace.record(WriteOp(
@@ -121,15 +141,30 @@ class MeasurementAgent:
         """
         invoke_local = self.clock.now()
         true_invoke = self._sim.now
+        span = None
+        if self._obs is not None:
+            span = self._obs.tracer.start("agent.read",
+                                          agent=self.name)
+        status = "error"
         try:
-            observed = yield self.session.fetch_messages()
-        except RateLimitExceededError:
-            # Surfaced to the read loop, which owns back-off policy.
-            self.failed_requests += 1
-            raise
-        except (ServiceError, HostUnreachableError):
-            self.failed_requests += 1
-            return None
+            try:
+                observed = yield self.session.fetch_messages()
+            except RateLimitExceededError:
+                # Surfaced to the read loop, which owns back-off
+                # policy; the retry there is a *new* read span.
+                self.failed_requests += 1
+                status = "rate_limited"
+                raise
+            except (ServiceError, HostUnreachableError):
+                self.failed_requests += 1
+                return None
+            status = "ok"
+        finally:
+            if span is not None:
+                self._obs.tracer.finish(
+                    span, attempts=1, status=status,
+                    ok=status == "ok",
+                )
         filtered = tuple(mid for mid in observed
                          if mid in self._message_filter)
         self.total_reads += 1

@@ -61,14 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--masked", action="store_true",
         help="wrap agent sessions in the client-side masking layer",
     )
-    run_cmd.add_argument(
-        "--output", default=None, metavar="FILE",
+    _add_out_flag(
+        run_cmd, "--campaign-out", legacy="--output",
         help="save the campaign's records as JSON for later analysis",
     )
-    run_cmd.add_argument(
-        "--trace-out", default=None, metavar="FILE",
+    _add_out_flag(
+        run_cmd, "--trace-out",
         help="append every operation to a trace-event JSONL file as "
              "it happens (input for 'stream --from-trace')",
+    )
+    _add_out_flag(
+        run_cmd, "--obs-out",
+        help="export the campaign's metrics/span snapshot as "
+             "digest-validated JSONL (input for 'obs')",
     )
     _add_campaign_args(run_cmd)
 
@@ -106,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     stream_cmd.add_argument(
         "--quiet", action="store_true",
         help="suppress per-anomaly live lines (keep summaries)",
+    )
+    _add_out_flag(
+        stream_cmd, "--obs-out",
+        help="export the engine's metrics snapshot as "
+             "digest-validated JSONL (input for 'obs')",
     )
 
     report_cmd = sub.add_parser(
@@ -151,9 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="derive N seeds from --seed via the RandomSource "
              "discipline (default: 3 when --seeds is not given)",
     )
-    fleet_cmd.add_argument(
-        "--out", default=None, metavar="DIR",
+    _add_out_flag(
+        fleet_cmd, "--store-out", legacy="--out", metavar="DIR",
         help="artifact-store directory (enables checkpoint/resume)",
+    )
+    _add_out_flag(
+        fleet_cmd, "--obs-out",
+        help="export the fleet's merged metrics/span snapshot as "
+             "digest-validated JSONL (input for 'obs')",
     )
     fleet_cmd.add_argument(
         "--shard-timeout", type=float, default=None, metavar="SECONDS",
@@ -171,6 +186,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_args(fleet_cmd)
     _add_fleet_args(fleet_cmd)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="render the metrics/span report of an obs export or "
+             "fleet store",
+        description=(
+            "Read a digest-validated obs export (from 'run --obs-out' "
+            "/ 'fleet --obs-out') or a fleet artifact-store directory "
+            "(merging every shard's snapshot in spec order) and print "
+            "the metrics and span report, including the paper's "
+            "per-service campaign request totals."
+        ),
+    )
+    obs_cmd.add_argument(
+        "path", metavar="PATH",
+        help="an .obs.jsonl export file, or a fleet store directory",
+    )
+    obs_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the raw merged snapshot as JSON instead of the "
+             "rendered report",
+    )
 
     sync_cmd = sub.add_parser(
         "clocksync", help="measure the clock-sync protocol's accuracy"
@@ -194,6 +231,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint_cmd)
 
     return parser
+
+
+def _add_out_flag(cmd: argparse.ArgumentParser, flag: str, *,
+                  help: str, legacy: str | None = None,
+                  metavar: str = "FILE") -> None:
+    """Add an output-path flag following the ``--*-out`` convention.
+
+    Every subcommand output flag goes through here so the surface
+    stays uniform (``--campaign-out``, ``--trace-out``, ``--obs-out``,
+    ``--store-out``).  ``legacy`` registers a hidden pre-convention
+    alias (``--output``, ``--out``) that keeps old invocations
+    working.
+    """
+    names = [flag] + ([legacy] if legacy else [])
+    cmd.add_argument(
+        *names, dest=flag.lstrip("-").replace("-", "_"),
+        default=None, metavar=metavar, help=help,
+    )
 
 
 def _add_campaign_args(cmd: argparse.ArgumentParser) -> None:
@@ -245,6 +300,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace_file.close()
     if args.trace_out:
         print(f"operation stream written to {args.trace_out}")
+    if args.obs_out:
+        from repro.obs.export import export_snapshot
+
+        export_snapshot(result.obs, args.obs_out)
+        print(f"obs snapshot written to {args.obs_out}")
     print(f"service: {result.service}")
     print(f"tests:   {result.total_tests} "
           f"({args.tests} per test type)")
@@ -252,10 +312,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"writes:  {result.total_writes}")
     print()
     print(prevalence_table({result.service: result}))
-    if args.output:
+    if args.campaign_out:
         from repro.io import save_campaign
 
-        path = save_campaign(result, args.output)
+        path = save_campaign(result, args.campaign_out)
         print(f"\nsaved campaign records to {path}")
     return 0
 
@@ -316,7 +376,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(line)
 
     outcome = run_fleet(
-        spec, jobs=args.jobs, out_dir=args.out,
+        spec, jobs=args.jobs, out_dir=args.store_out,
         on_event=None if args.quiet else on_event,
         shard_timeout=args.shard_timeout,
         stream=args.stream,
@@ -332,8 +392,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  {anomaly:20s} mean {entry.mean:6.3f}  "
                   f"min {entry.minimum:6.3f}  "
                   f"max {entry.maximum:6.3f}")
-    if args.out:
-        print(f"\nartifacts stored in {args.out}")
+    if args.obs_out:
+        merged = outcome.merged_obs()
+        if merged is None:
+            print("obs export skipped: at least one shard has no "
+                  "snapshot (store predates obs?)", file=sys.stderr)
+        else:
+            from repro.obs.export import export_snapshot
+
+            export_snapshot(merged, args.obs_out)
+            print(f"merged obs snapshot written to {args.obs_out}")
+    if args.store_out:
+        print(f"\nartifacts stored in {args.store_out}")
     return 0
 
 
@@ -356,7 +426,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     horizon = (args.horizon if args.horizon is not None
                else DEFAULT_HORIZON)
-    engine = StreamEngine(horizon=horizon)
+    obs = None
+    if args.obs_out:
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
+    engine = StreamEngine(horizon=horizon, obs=obs)
     peak_state = 0
 
     def on_emission(meta, sop, emission) -> None:
@@ -416,6 +491,57 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"peak state size:     {peak_state}")
     for kind, count in engine.anomaly_counts.items():
         print(f"  {kind:20s} {count}")
+    if obs is not None:
+        from repro.obs.export import export_snapshot
+
+        export_snapshot(obs.snapshot(), args.obs_out)
+        print(f"\nobs snapshot written to {args.obs_out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import AnalysisError, FleetError
+    from repro.obs import merge_obs_snapshots
+    from repro.obs.export import load_snapshot
+    from repro.obs.report import render_obs_report
+
+    path = Path(args.path)
+    try:
+        if path.is_dir():
+            from repro.fleet import ArtifactStore
+
+            store = ArtifactStore(path)
+            # Shard ids embed the zero-padded spec index, so sorted
+            # file order *is* spec merge order.
+            shard_ids = store.completed_shards()
+            snapshots = [store.load_shard_obs(shard_id)
+                         for shard_id in shard_ids]
+            missing = [shard_id for shard_id, snapshot
+                       in zip(shard_ids, snapshots)
+                       if snapshot is None]
+            if missing:
+                print(f"shards without obs snapshots: {missing}",
+                      file=sys.stderr)
+                return 2
+            if not snapshots:
+                print(f"no completed shards in {path}",
+                      file=sys.stderr)
+                return 2
+            snapshot = merge_obs_snapshots(snapshots)
+        else:
+            snapshot = load_snapshot(path)
+    except (AnalysisError, FleetError, OSError) as exc:
+        print(f"cannot read obs data from {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_obs_report(snapshot))
     return 0
 
 
@@ -455,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "fleet": _cmd_fleet,
         "report": _cmd_report,
+        "obs": _cmd_obs,
         "clocksync": _cmd_clocksync,
         "lint": _cmd_lint,
     }

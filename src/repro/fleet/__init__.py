@@ -32,7 +32,15 @@ from repro.fleet.digest import (
     fleet_signature,
     records_digest,
 )
-from repro.fleet.events import (
+from repro.fleet.executor import (
+    DEFAULT_MAX_RETRIES,
+    FleetOutcome,
+    execute_shard,
+    run_fleet,
+)
+from repro.fleet.spec import FleetSpec, ShardJob, derive_fleet_seeds
+from repro.fleet.store import ArtifactStore, STORE_VERSION
+from repro.obs.events import (
     EventCallback,
     FleetCompleted,
     FleetEvent,
@@ -42,16 +50,9 @@ from repro.fleet.events import (
     ShardRetried,
     ShardSkipped,
     ShardStarted,
+    ShardTestChecked,
     render_event,
 )
-from repro.fleet.executor import (
-    DEFAULT_MAX_RETRIES,
-    FleetOutcome,
-    execute_shard,
-    run_fleet,
-)
-from repro.fleet.spec import FleetSpec, ShardJob, derive_fleet_seeds
-from repro.fleet.store import ArtifactStore, STORE_VERSION
 
 __all__ = [
     "FleetSpec",
@@ -72,6 +73,7 @@ __all__ = [
     "FleetCompleted",
     "ShardEvent",
     "ShardStarted",
+    "ShardTestChecked",
     "ShardCompleted",
     "ShardRetried",
     "ShardSkipped",

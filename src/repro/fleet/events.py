@@ -1,20 +1,28 @@
-"""Progress telemetry for fleet runs.
+"""Deprecated alias: fleet telemetry moved to :mod:`repro.obs.events`.
 
-The executor emits one event object per lifecycle transition — fleet
-start/finish, shard start/completion/retry/skip — to an optional
-``on_event`` callback.  Events are plain frozen dataclasses so tests
-can assert exact sequences and the CLI can render them as progress
-lines (:func:`render_event`) without the engine knowing anything about
-terminals.
-
-Telemetry is observability, not output: event ordering and timing vary
-with worker scheduling, but the merged fleet results never do.
+The fleet's progress events are one face of the unified observability
+event protocol; import them from ``repro.obs.events`` (or
+``repro.fleet``, which re-exports them warning-free).  This module
+stays for one release so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import warnings
+
+from repro.obs.events import (  # noqa: F401  (re-exported aliases)
+    EventCallback,
+    FleetCompleted,
+    FleetEvent,
+    FleetStarted,
+    ShardCompleted,
+    ShardEvent,
+    ShardRetried,
+    ShardSkipped,
+    ShardStarted,
+    ShardTestChecked,
+    render_event,
+)
 
 __all__ = [
     "FleetEvent",
@@ -30,120 +38,9 @@ __all__ = [
     "render_event",
 ]
 
-
-@dataclass(frozen=True)
-class FleetEvent:
-    """Base class of every fleet telemetry event."""
-
-
-@dataclass(frozen=True)
-class FleetStarted(FleetEvent):
-    """Emitted once, before any shard work."""
-
-    total_shards: int
-    jobs: int
-    #: Shards restored from the artifact store instead of executed.
-    resumed: int
-
-
-@dataclass(frozen=True)
-class FleetCompleted(FleetEvent):
-    """Emitted once, after the ordered merge."""
-
-    executed: int
-    skipped: int
-    retries: int
-
-
-@dataclass(frozen=True)
-class ShardEvent(FleetEvent):
-    """Base class of per-shard events; carries the shard's identity."""
-
-    shard_id: str
-    index: int
-    total: int
-    service: str
-    seed: int
-    label: str | None
-
-
-@dataclass(frozen=True)
-class ShardStarted(ShardEvent):
-    attempt: int = 1
-
-
-@dataclass(frozen=True)
-class ShardTestChecked(ShardEvent):
-    """One test of a shard finished and was checked *online*.
-
-    Only the streaming fast path (``run_fleet(..., stream=True)``)
-    emits these — the batch path has nothing to report until a whole
-    shard returns.  ``anomalies`` maps anomaly kind to this test's
-    observation count (zero counts omitted); ``state_size`` is the
-    worker engine's retained-atom count right after the test closed.
-    """
-
-    test_id: str = ""
-    test_index: int = 0
-    anomalies: dict[str, int] | None = None
-    state_size: int = 0
-
-
-@dataclass(frozen=True)
-class ShardCompleted(ShardEvent):
-    attempts: int = 1
-    records: int = 0
-
-
-@dataclass(frozen=True)
-class ShardRetried(ShardEvent):
-    attempt: int = 1
-    reason: str = ""
-
-
-@dataclass(frozen=True)
-class ShardSkipped(ShardEvent):
-    reason: str = "complete in store"
-
-
-EventCallback = Callable[[FleetEvent], None]
-
-
-def _shard_label(event: ShardEvent) -> str:
-    extra = f" {event.label}" if event.label else ""
-    return (f"[{event.index + 1}/{event.total}] {event.service}"
-            f"{extra} seed={event.seed}")
-
-
-def render_event(event: FleetEvent) -> str | None:
-    """One human-readable progress line per event (None = silent)."""
-    if isinstance(event, FleetStarted):
-        resumed = (f", {event.resumed} resumed from store"
-                   if event.resumed else "")
-        return (f"fleet: {event.total_shards} shards on "
-                f"{event.jobs} worker(s){resumed}")
-    if isinstance(event, ShardStarted):
-        attempt = (f" (attempt {event.attempt})"
-                   if event.attempt > 1 else "")
-        return f"{_shard_label(event)} started{attempt}"
-    if isinstance(event, ShardTestChecked):
-        if event.anomalies:
-            found = ", ".join(f"{kind}={count}" for kind, count
-                              in sorted(event.anomalies.items()))
-        else:
-            found = "clean"
-        return (f"{_shard_label(event)} checked {event.test_id}: "
-                f"{found} (state={event.state_size})")
-    if isinstance(event, ShardCompleted):
-        return (f"{_shard_label(event)} done: {event.records} records"
-                + (f" after {event.attempts} attempts"
-                   if event.attempts > 1 else ""))
-    if isinstance(event, ShardRetried):
-        return (f"{_shard_label(event)} retrying "
-                f"(attempt {event.attempt} {event.reason})")
-    if isinstance(event, ShardSkipped):
-        return f"{_shard_label(event)} skipped: {event.reason}"
-    if isinstance(event, FleetCompleted):
-        return (f"fleet: done ({event.executed} executed, "
-                f"{event.skipped} skipped, {event.retries} retries)")
-    return None
+warnings.warn(
+    "repro.fleet.events is deprecated; import fleet telemetry events "
+    "from repro.obs.events (this alias lasts one release)",
+    DeprecationWarning,
+    stacklevel=2,
+)

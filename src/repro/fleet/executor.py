@@ -45,7 +45,10 @@ from typing import Callable
 
 from repro.errors import ConfigurationError, FleetError
 from repro.fleet.digest import fleet_signature
-from repro.fleet.events import (
+from repro.fleet.spec import FleetSpec, ShardJob
+from repro.fleet.store import ArtifactStore
+from repro.methodology.runner import CampaignResult
+from repro.obs.events import (
     EventCallback,
     FleetCompleted,
     FleetStarted,
@@ -55,9 +58,6 @@ from repro.fleet.events import (
     ShardStarted,
     ShardTestChecked,
 )
-from repro.fleet.spec import FleetSpec, ShardJob
-from repro.fleet.store import ArtifactStore
-from repro.methodology.runner import CampaignResult
 
 __all__ = ["run_fleet", "execute_shard", "FleetOutcome",
            "DEFAULT_MAX_RETRIES"]
@@ -94,6 +94,24 @@ class FleetOutcome:
         """The golden-signature digest of the merged results."""
         return fleet_signature(self.results)
 
+    def merged_obs(self) -> dict | None:
+        """All shards' obs snapshots merged in spec order.
+
+        Counter and histogram entries sum across shards; spans
+        concatenate shard-by-shard.  Because the merge visits shards
+        in spec order, the result is independent of worker scheduling
+        — and for a single shard it is the shard's snapshot verbatim,
+        which is what makes fleet exports byte-comparable with serial
+        runs.  Returns None if any shard is missing its snapshot
+        (e.g. resumed from a store written before obs existed).
+        """
+        from repro.obs import merge_obs_snapshots
+
+        snapshots = [result.obs for result in self.results]
+        if any(snapshot is None for snapshot in snapshots):
+            return None
+        return merge_obs_snapshots(snapshots)
+
     def by_service(self) -> dict[str, list[CampaignResult]]:
         """Results grouped by service, preserving merge order."""
         grouped: dict[str, list[CampaignResult]] = {}
@@ -123,7 +141,7 @@ def run_fleet(spec: FleetSpec, *,
         of re-run, and newly completed shards are written back as
         they finish.
     on_event:
-        Telemetry callback receiving :mod:`repro.fleet.events` events.
+        Telemetry callback receiving :mod:`repro.obs.events` events.
     shard_timeout:
         Wall-clock seconds one shard attempt may run (workers only);
         a timed-out worker is terminated and the shard retried.
@@ -138,7 +156,7 @@ def run_fleet(spec: FleetSpec, *,
         records come from the streaming engine instead of the batch
         re-check (bit-identical by the parity contract), every test
         closure is reported incrementally as a
-        :class:`~repro.fleet.events.ShardTestChecked` event — piped
+        :class:`~repro.obs.events.ShardTestChecked` event — piped
         from workers while shards are still running — and, with an
         output directory, each shard's operation stream is archived to
         ``traces/<shard_id>.ops.jsonl`` for ``stream --from-trace``.
@@ -175,7 +193,8 @@ def run_fleet(spec: FleetSpec, *,
         if store is not None and \
                 store.shard_state(job.shard_id) == "complete":
             results[job.index] = _result_from_records(
-                job, store.load_shard_records(job.shard_id)
+                job, store.load_shard_records(job.shard_id),
+                obs=store.load_shard_obs(job.shard_id),
             )
             skipped.append(job.shard_id)
         else:
@@ -221,10 +240,12 @@ def _shard_event(cls, job: ShardJob, total: int, **extra):
 
 
 def _result_from_records(job: ShardJob,
-                         jsonable_records: list[dict]) -> CampaignResult:
+                         jsonable_records: list[dict],
+                         obs: dict | None = None) -> CampaignResult:
     from repro.io import record_from_dict
 
-    result = CampaignResult(service=job.service, config=job.config)
+    result = CampaignResult(service=job.service, config=job.config,
+                            obs=obs)
     result.records.extend(record_from_dict(record, job.service)
                           for record in jsonable_records)
     return result
@@ -258,7 +279,8 @@ def _run_serial(pending: list[ShardJob], runner: ShardRunner,
         emit(_shard_event(ShardStarted, job, total, attempt=1))
         result = runner(job)
         if store is not None:
-            store.write_shard(job, _records_to_jsonable(result))
+            store.write_shard(job, _records_to_jsonable(result),
+                              obs=result.obs)
         results[job.index] = result
         emit(_shard_event(ShardCompleted, job, total, attempts=1,
                           records=len(result.records)))
@@ -293,7 +315,8 @@ def _run_stream_serial(pending: list[ShardJob],
                       if store is not None else None)
         result = run_stream_shard(job, on_test, trace_path)
         if store is not None:
-            store.write_shard(job, _records_to_jsonable(result))
+            store.write_shard(job, _records_to_jsonable(result),
+                              obs=result.obs)
         results[job.index] = result
         emit(_shard_event(ShardCompleted, job, total, attempts=1,
                           records=len(result.records)))
@@ -307,7 +330,8 @@ def _shard_worker(conn, runner: ShardRunner, job: ShardJob) -> None:
     try:
         result = runner(job)
         payload = {"ok": True,
-                   "records": _records_to_jsonable(result)}
+                   "records": _records_to_jsonable(result),
+                   "obs": result.obs}
     except BaseException:
         payload = {"ok": False, "error": traceback.format_exc()}
     try:
@@ -349,7 +373,8 @@ def _stream_shard_worker(conn, job: ShardJob,
     try:
         result = run_stream_shard(job, on_test, trace_path)
         payload = {"ok": True,
-                   "records": _records_to_jsonable(result)}
+                   "records": _records_to_jsonable(result),
+                   "obs": result.obs}
     except BaseException:
         payload = {"ok": False, "error": traceback.format_exc()}
     try:
@@ -460,11 +485,14 @@ def _run_parallel(pending: list[ShardJob], jobs: int,
                     fail_or_retry(entry, "worker crashed (exit code "
                                   f"{entry.process.exitcode})")
                 elif payload["ok"]:
-                    result = _result_from_records(entry.job,
-                                                  payload["records"])
+                    result = _result_from_records(
+                        entry.job, payload["records"],
+                        obs=payload.get("obs"),
+                    )
                     if store is not None:
                         store.write_shard(entry.job,
-                                          payload["records"])
+                                          payload["records"],
+                                          obs=payload.get("obs"))
                     results[entry.job.index] = result
                     emit(_shard_event(
                         ShardCompleted, entry.job, total,

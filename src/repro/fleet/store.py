@@ -84,6 +84,20 @@ class ArtifactStore:
         digest-tracked, never consulted by resume."""
         return self.traces_dir / f"{shard_id}.ops.jsonl"
 
+    @property
+    def obs_dir(self) -> Path:
+        """Per-shard observability snapshots (metrics + spans)."""
+        return self.root / "obs"
+
+    def obs_path(self, shard_id: str) -> Path:
+        """The shard's obs export (digest-validated JSONL).
+
+        Telemetry artifact: self-validating via its embedded digest
+        header, not part of the resume contract — a missing or
+        damaged obs file never forces a shard re-run.
+        """
+        return self.obs_dir / f"{shard_id}.obs.jsonl"
+
     # -- Manifest -------------------------------------------------------
 
     def _load_manifest(self) -> dict | None:
@@ -164,12 +178,15 @@ class ArtifactStore:
     # -- Shard records --------------------------------------------------
 
     def write_shard(self, job: "ShardJob",
-                    jsonable_records: Iterable[dict]) -> str:
+                    jsonable_records: Iterable[dict],
+                    obs: dict | None = None) -> str:
         """Persist one completed shard; returns the recorded digest.
 
         The shard file is written in full before the manifest entry is
         committed, so an interruption between the two leaves the shard
         classified ``missing`` (no entry), never falsely complete.
+        ``obs`` (a :meth:`repro.obs.ObsContext.snapshot`) is archived
+        alongside as a digest-validated JSONL export.
         """
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         path = self.shard_path(job.shard_id)
@@ -177,6 +194,10 @@ class ArtifactStore:
         lines = [canonical_json(record) for record in records]
         path.write_text("\n".join(lines) + ("\n" if lines else ""),
                         encoding="utf-8")
+        if obs is not None:
+            from repro.obs.export import export_snapshot
+
+            export_snapshot(obs, self.obs_path(job.shard_id))
         digest = _file_digest(path)
         self.manifest["shards"][job.shard_id] = {
             "status": "complete",
@@ -185,6 +206,7 @@ class ArtifactStore:
             "service": job.service,
             "seed": job.seed,
             "label": job.label,
+            "obs": obs is not None,
         }
         self._write_manifest()
         return digest
@@ -224,3 +246,21 @@ class ArtifactStore:
         with path.open("r", encoding="utf-8") as handle:
             return [json.loads(line) for line in handle
                     if line.strip()]
+
+    def load_shard_obs(self, shard_id: str) -> dict | None:
+        """One shard's obs snapshot, or None if absent or damaged.
+
+        Obs exports are telemetry, not results: a missing or
+        digest-invalid file degrades to None rather than failing the
+        resume (the records digest alone decides shard completeness).
+        """
+        from repro.errors import AnalysisError
+        from repro.obs.export import load_snapshot
+
+        path = self.obs_path(shard_id)
+        if not path.is_file():
+            return None
+        try:
+            return load_snapshot(path)
+        except AnalysisError:
+            return None

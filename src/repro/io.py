@@ -20,6 +20,7 @@ inside); loading restores everything the analysis pipeline consumes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Iterable, Iterator, TextIO
@@ -45,6 +46,8 @@ __all__ = [
     "trace_from_meta_dict",
     "TraceEventWriter",
     "iter_trace_events",
+    "write_digest_jsonl",
+    "read_digest_jsonl",
 ]
 
 SCHEMA_VERSION = 1
@@ -329,6 +332,96 @@ def iter_trace_events(lines: Iterable[str]) -> Iterator[dict]:
                 f"(expected {TRACE_EVENT_SCHEMA_VERSION})"
             )
         yield event
+
+
+# -- Digest-validated JSONL ------------------------------------------------
+#
+# The artifact-store discipline, generalized: a JSONL file whose first
+# line is a header binding a kind tag, a schema version, and the
+# SHA-256 digest of the body lines.  A reader that validates the
+# header can trust the payload exactly as far as the digest reaches —
+# truncation, tampering, and version skew all fail loudly instead of
+# mis-parsing.  The observability exports (:mod:`repro.obs.export`)
+# are the first client.
+
+
+def _canonical_line(payload: dict) -> str:
+    return json.dumps(_jsonable(payload), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_digest_jsonl(path: str | Path, payloads: Iterable[dict], *,
+                       kind: str, schema_version: int) -> Path:
+    """Write ``payloads`` as digest-validated canonical JSONL.
+
+    Output is a pure function of the payload sequence: canonical JSON
+    (sorted keys, compact separators) per line, so two identical
+    inputs produce byte-identical files — the property the obs parity
+    gate asserts.
+    """
+    lines = [_canonical_line(payload) for payload in payloads]
+    body = "".join(line + "\n" for line in lines)
+    digest = "sha256:" + hashlib.sha256(
+        body.encode("utf-8")
+    ).hexdigest()
+    header = _canonical_line({
+        "kind": kind,
+        "schema_version": schema_version,
+        "lines": len(lines),
+        "digest": digest,
+    })
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(header + "\n" + body, encoding="utf-8")
+    return path
+
+
+def read_digest_jsonl(path: str | Path, *, kind: str,
+                      schema_version: int) -> list[dict]:
+    """Load a :func:`write_digest_jsonl` file, validating everything.
+
+    Raises :class:`~repro.errors.AnalysisError` on a missing or
+    malformed header, a kind or schema-version mismatch, or body bytes
+    that no longer hash to the recorded digest.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    newline = text.find("\n")
+    if newline < 0:
+        raise AnalysisError(f"{path}: missing digest header")
+    try:
+        header = json.loads(text[:newline])
+    except ValueError as exc:
+        raise AnalysisError(
+            f"{path}: unreadable digest header: {exc}"
+        ) from exc
+    if header.get("kind") != kind:
+        raise AnalysisError(
+            f"{path}: kind {header.get('kind')!r} is not {kind!r}"
+        )
+    if header.get("schema_version") != schema_version:
+        raise AnalysisError(
+            f"{path}: unsupported {kind} schema version "
+            f"{header.get('schema_version')!r} "
+            f"(expected {schema_version})"
+        )
+    body = text[newline + 1:]
+    digest = "sha256:" + hashlib.sha256(
+        body.encode("utf-8")
+    ).hexdigest()
+    if digest != header.get("digest"):
+        raise AnalysisError(
+            f"{path}: body does not match its recorded digest "
+            f"(truncated or tampered)"
+        )
+    payloads = [json.loads(line) for line in body.splitlines()
+                if line.strip()]
+    if len(payloads) != header.get("lines"):
+        raise AnalysisError(
+            f"{path}: {len(payloads)} body lines, header claims "
+            f"{header.get('lines')}"
+        )
+    return payloads
 
 
 def load_campaign(path: str | Path) -> CampaignResult:

@@ -73,6 +73,7 @@ DEFAULT_AGGREGATION_SCOPES = DEFAULT_SIM_SCOPES + (
     "repro.analysis",
     "repro.io",
     "repro.stream",
+    "repro.obs",
 )
 
 

@@ -20,11 +20,11 @@ stretch); pass ``CampaignConfig(nemesis=...)`` for custom scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable
 
 from repro.core.anomalies import ALL_ANOMALIES
 from repro.core.anomalies.registry import TraceReport, check_all
-from repro.core.trace import Operation, TestTrace
+from repro.core.trace import TestTrace
 from repro.core.windows import (
     WindowResult,
     content_divergence_windows,
@@ -39,6 +39,7 @@ from repro.methodology.config import (
 from repro.methodology.test1 import run_test1
 from repro.methodology.test2 import run_test2
 from repro.methodology.world import MeasurementWorld
+from repro.obs.events import OperationObserver
 from repro.sim.process import spawn
 
 __all__ = ["TestRecord", "CampaignResult", "run_campaign",
@@ -46,28 +47,6 @@ __all__ = ["TestRecord", "CampaignResult", "run_campaign",
 
 #: Pair key type used throughout the analysis: sorted agent names.
 Pair = tuple[str, str]
-
-
-class OperationObserver(Protocol):
-    """Live per-operation hook into a running campaign.
-
-    The online detection path (:mod:`repro.stream`) and trace-event
-    exporters implement this protocol; ``run_campaign(observer=...)``
-    wires it in.  Calls arrive in simulation order:
-
-    * ``test_opened(trace)`` — the trace exists, clock deltas and the
-      WFR trigger map are final, no operation has been logged yet;
-    * ``operation(trace, op)`` — one operation, the instant an agent
-      logs it (i.e. at the op's true response time);
-    * ``test_closed(trace)`` — the test finished; no more operations
-      will be logged into this trace.
-    """
-
-    def test_opened(self, trace: TestTrace) -> None: ...
-
-    def operation(self, trace: TestTrace, op: Operation) -> None: ...
-
-    def test_closed(self, trace: TestTrace) -> None: ...
 
 
 #: Distills a finished trace into a record; ``analyze_trace`` is the
@@ -104,6 +83,12 @@ class CampaignResult:
     service: str
     config: CampaignConfig
     records: list[TestRecord] = field(default_factory=list)
+    #: The campaign world's observability snapshot
+    #: (:meth:`repro.obs.ObsContext.snapshot`): metrics + spans from
+    #: the request hot path.  Telemetry, not a measured result: the
+    #: fleet signature digests records only, so this field never
+    #: perturbs golden signatures or resume digests.
+    obs: dict | None = None
 
     def of_type(self, test_type: str) -> list[TestRecord]:
         return [r for r in self.records if r.test_type == test_type]
@@ -261,6 +246,7 @@ def run_campaign(service_name: str,
         raise ReproError(
             f"campaign against {service_name!r} failed"
         ) from driver.completion.exception
+    result.obs = world.obs.snapshot()
     return result
 
 

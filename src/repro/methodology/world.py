@@ -25,6 +25,7 @@ from repro.net.topology import (
     Region,
     paper_topology,
 )
+from repro.obs import ObsContext
 from repro.services.profiles import build_service
 from repro.sim.clock import DriftingClock, make_host_clock
 from repro.sim.event_loop import Simulator
@@ -67,11 +68,18 @@ class MeasurementWorld:
         self.rng = RandomSource(seed=seed)
         self.topology = paper_topology()
         self.faults = FaultInjector(rng=self.rng.child("faults"))
+        # The observability context lives on the simulated clock, so
+        # every metric timestamp and span boundary is a pure function
+        # of (seed, config) — and rides the network object down the
+        # stack, so clients and substrates need no new parameters.
+        sim = self.sim
+        self.obs = ObsContext(now_fn=lambda: sim.now)
         self.network = Network(
             self.sim,
             LatencyModel(self.topology, self.rng.child("net"),
                          JitterParams(sigma=jitter_sigma)),
             faults=self.faults,
+            obs=self.obs,
         )
         # Place probe hosts before anything attaches.
         for name, region in AGENT_REGIONS.items():

@@ -28,6 +28,7 @@ from typing import Any, Callable
 from repro.errors import HostUnreachableError, NetworkError
 from repro.net.latency import LatencyModel
 from repro.net.partition import FaultInjector
+from repro.obs import ObsContext
 from repro.sim.event_loop import Simulator
 from repro.sim.future import Future
 
@@ -74,10 +75,15 @@ class Network:
     """Connects named hosts over a latency model with fault injection."""
 
     def __init__(self, sim: Simulator, latency: LatencyModel,
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 obs: ObsContext | None = None) -> None:
         self._sim = sim
         self._latency = latency
         self._faults = faults or FaultInjector()
+        #: The observability context every layer above reaches through
+        #: its network reference (API clients, agents, replication
+        #: substrates).  None = uninstrumented, zero overhead.
+        self.obs = obs
         self._endpoints: dict[str, _Endpoint] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
@@ -116,6 +122,9 @@ class Network:
         self._require_attached(src)
         self._require_attached(dst)
         self._messages_sent += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("net.datagrams_total",
+                                     src=src, dst=dst).inc()
         if self._faults.should_drop(src, dst, self._sim.now):
             return
         delay = self._latency.sample_one_way(src, dst)
@@ -140,6 +149,9 @@ class Network:
             timeout: float = DEFAULT_RPC_TIMEOUT) -> Future:
         """Issue a request/response exchange; returns the reply future."""
         self._require_attached(src)
+        if self.obs is not None:
+            self.obs.metrics.counter("net.rpc_requests_total",
+                                     src=src, dst=dst).inc()
         reply = Future(name=f"rpc {src}->{dst}")
         endpoint = self._endpoints.get(dst)
         if endpoint is None or endpoint.rpc_handler is None:

@@ -1,0 +1,140 @@
+"""Human-readable rendering of an obs snapshot.
+
+``repro-consistency obs`` prints this report for a run's export file
+or a fleet store's merged shards.  The leading section is the paper's
+§V campaign-totals view — per-service wire-request totals, split by
+method, with rate-limit rejections — *derived* from the request
+counters the span/metric layer recorded, which is the point of the
+subsystem: the published table is a query over telemetry, not a
+side channel.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_obs_report"]
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _service_totals(metrics: list[dict]) -> dict[str, dict[str, int]]:
+    """Per-service request totals from the api.* counters."""
+    totals: dict[str, dict[str, int]] = {}
+    for entry in metrics:
+        if entry["type"] != "counter":
+            continue
+        labels = entry["labels"]
+        service = labels.get("service")
+        if service is None:
+            continue
+        row = totals.setdefault(
+            service, {"requests": 0, "GET": 0, "POST": 0, "429": 0}
+        )
+        if entry["name"] == "api.requests_total":
+            row["requests"] += entry["value"]
+            method = labels.get("method", "")
+            if method in row:
+                row[method] += entry["value"]
+        elif (entry["name"] == "api.responses_total"
+                and labels.get("status") == "429"):
+            row["429"] += entry["value"]
+    return totals
+
+
+def _span_stats(spans: list[dict]) -> dict[str, dict]:
+    stats: dict[str, dict] = {}
+    for span in spans:
+        row = stats.setdefault(span["name"], {
+            "count": 0, "total": 0.0, "max": 0.0, "attempts": 0,
+        })
+        row["count"] += 1
+        if span.get("end") is not None:
+            duration = span["end"] - span["start"]
+            row["total"] += duration
+            row["max"] = max(row["max"], duration)
+        attempts = span.get("attrs", {}).get("attempts")
+        if isinstance(attempts, int):
+            row["attempts"] += attempts
+    return stats
+
+
+def render_obs_report(snapshot: dict) -> str:
+    """The full metrics/span report for one snapshot, as text."""
+    metrics = snapshot.get("metrics", [])
+    spans = snapshot.get("spans", [])
+    counters = [e for e in metrics if e["type"] == "counter"]
+    gauges = [e for e in metrics if e["type"] == "gauge"]
+    histograms = [e for e in metrics if e["type"] == "histogram"]
+
+    lines = [
+        f"== Observability report ({len(counters)} counters, "
+        f"{len(gauges)} gauges, {len(histograms)} histograms, "
+        f"{len(spans)} spans) =="
+    ]
+
+    totals = _service_totals(metrics)
+    if totals:
+        lines.append("")
+        lines.append("-- Campaign totals per service (the paper's "
+                     "request-count view, from api.* counters) --")
+        lines.append(f"{'service':16s}{'requests':>10s}{'reads':>9s}"
+                     f"{'writes':>9s}{'429s':>7s}")
+        for service in sorted(totals):
+            row = totals[service]
+            lines.append(
+                f"{service:16s}{row['requests']:10.0f}"
+                f"{row['GET']:9.0f}{row['POST']:9.0f}"
+                f"{row['429']:7.0f}"
+            )
+
+    if counters:
+        lines.append("")
+        lines.append("-- Counters --")
+        for entry in counters:
+            lines.append(
+                f"  {entry['name']}{_format_labels(entry['labels'])} "
+                f"= {entry['value']:g}"
+            )
+
+    if gauges:
+        lines.append("")
+        lines.append("-- Gauges --")
+        for entry in gauges:
+            lines.append(
+                f"  {entry['name']}{_format_labels(entry['labels'])} "
+                f"= {entry['value']:g} (at t={entry['updated']:.2f})"
+            )
+
+    if histograms:
+        lines.append("")
+        lines.append("-- Histograms --")
+        for entry in histograms:
+            mean = (entry["sum"] / entry["count"]
+                    if entry["count"] else 0.0)
+            lines.append(
+                f"  {entry['name']}{_format_labels(entry['labels'])}"
+                f": count={entry['count']} mean={mean:.4f}s"
+            )
+
+    stats = _span_stats(spans)
+    if stats:
+        lines.append("")
+        lines.append("-- Spans --")
+        lines.append(f"  {'name':24s}{'count':>7s}{'mean':>9s}"
+                     f"{'max':>9s}{'attempts':>10s}")
+        for name in sorted(stats):
+            row = stats[name]
+            mean = row["total"] / row["count"] if row["count"] else 0.0
+            attempts = (str(row["attempts"]) if row["attempts"]
+                        else "-")
+            lines.append(
+                f"  {name:24s}{row['count']:7d}{mean:9.4f}"
+                f"{row['max']:9.4f}{attempts:>10s}"
+            )
+
+    return "\n".join(lines)

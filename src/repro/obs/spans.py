@@ -1,0 +1,95 @@
+"""Deterministic span tracing for the simulated request hot path.
+
+A :class:`Span` is one timed unit of work — an agent operation, a
+replicated write — with labels fixed at start and attributes attached
+at finish.  The :class:`Tracer` assigns **sequential** span ids (no
+randomness: ids must be a pure function of the seed) and timestamps
+from the injected ``now_fn``, the simulated clock in campaigns.
+
+Finished spans accumulate in finish order.  Under the simulator that
+order is event-loop order, itself a pure function of ``(seed,
+config)`` — so a span export, like a metrics export, is byte-identical
+across same-seed runs.
+
+Spans are deliberately coarse: one per *operation* (a write with its
+429 retries, a read), not one per wire message — wire-level counts are
+counters (:mod:`repro.obs.metrics`), which cost one integer add
+instead of an object allocation on the busiest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed unit of work."""
+
+    span_id: int
+    name: str
+    start: float
+    labels: dict[str, str]
+    parent_id: int | None = None
+    end: float | None = None
+    #: Finish-time facts (attempt counts, outcome flags, ids).  Values
+    #: must be JSON-safe scalars so snapshots survive worker transport
+    #: and the digest-validated export unchanged.
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def snapshot(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Creates spans and collects them as they finish."""
+
+    def __init__(self,
+                 now_fn: Callable[[], float] | None = None) -> None:
+        self._now = now_fn if now_fn is not None else (lambda: 0.0)
+        self._next_id = 1
+        self.finished: list[Span] = []
+        self.spans_started = 0
+
+    def start(self, name: str, parent: Span | None = None,
+              at: float | None = None, **labels: str) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self._now() if at is None else at,
+            labels={key: str(value) for key, value in labels.items()},
+            parent_id=None if parent is None else parent.span_id,
+        )
+        self._next_id += 1
+        self.spans_started += 1
+        return span
+
+    def finish(self, span: Span, at: float | None = None,
+               **attrs: object) -> Span:
+        span.end = self._now() if at is None else at
+        span.attrs.update(attrs)
+        self.finished.append(span)
+        return span
+
+    @property
+    def spans_finished(self) -> int:
+        return len(self.finished)
+
+    def snapshot(self) -> list[dict]:
+        """Finished spans as JSON-safe dicts, in finish order."""
+        return [span.snapshot() for span in self.finished]

@@ -232,6 +232,10 @@ class DatacenterReplica:
     def accept_write(self, message_id: str, author: str) -> float:
         """Accept a client write at this DC; returns its origin_ts."""
         origin_ts = self._clock_fn()
+        obs = self._network.obs
+        if obs is not None:
+            obs.metrics.counter("replication.writes_total",
+                                host=self.host).inc()
         self._store.insert(
             message_id, author, origin_ts,
             sort_key=timestamp_key(origin_ts, 0, message_id),
@@ -280,6 +284,10 @@ class DatacenterReplica:
         harmless when replication already succeeded and heal the gap
         when a partition dropped the original batch.
         """
+        obs = self._network.obs
+        if obs is not None:
+            obs.metrics.counter("replication.antientropy_rounds_total",
+                                host=self.host).inc()
         horizon = self._sim.now - self._params.retention
         self._local_log = [record for record in self._local_log
                            if record[2] >= horizon]

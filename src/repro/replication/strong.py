@@ -76,6 +76,13 @@ class PrimaryBackupGroup:
         The resolved value is the write's origin timestamp.
         """
         origin_ts = self._sim.now
+        obs = self._network.obs
+        span = None
+        if obs is not None:
+            obs.metrics.counter("replication.writes_total",
+                                host=self.primary_host).inc()
+            span = obs.tracer.start("replication.write",
+                                    host=self.primary_host)
         self._primary_store.insert(
             message_id, client, origin_ts,
             sort_key=timestamp_key(origin_ts, 0, message_id),
@@ -96,6 +103,12 @@ class PrimaryBackupGroup:
                 if all_acks.failed else done.resolve(origin_ts)
             )
         )
+        if span is not None:
+            done.add_callback(
+                lambda fut: obs.tracer.finish(
+                    span, backups=len(acks), ok=not fut.failed
+                )
+            )
         return done
 
     def read(self) -> tuple[str, ...]:

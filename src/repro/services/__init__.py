@@ -13,7 +13,11 @@ Build one with :func:`build_service`; talk to it through the
 :class:`ServiceSession` returned by ``create_session``.
 """
 
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import (
+    OnlineService,
+    ServiceSession,
+    SessionRoutes,
+)
 from repro.services.blogger import BloggerParams, BloggerService
 from repro.services.facebook_feed import (
     FacebookFeedParams,
@@ -35,6 +39,7 @@ from repro.services.quorum_kv import QuorumKvParams, QuorumKvService
 __all__ = [
     "OnlineService",
     "ServiceSession",
+    "SessionRoutes",
     "BloggerService",
     "BloggerParams",
     "GooglePlusService",

@@ -10,13 +10,18 @@ sequences.
 
 Concrete services subclass :class:`OnlineService`, build their
 replication substrate and endpoints at construction, and implement
-:meth:`OnlineService.create_session` to route each agent to the right
-endpoint host (its home datacenter / edge).
+:meth:`OnlineService.session_routes` (plus, for shared-account
+services, :meth:`OnlineService.session_account`) to route each agent
+to the right endpoint host (its home datacenter / edge).  Session
+construction itself — client wiring, token plumbing, the service
+label on the API client's metrics — lives once in
+:meth:`OnlineService.create_session`.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -29,7 +34,25 @@ from repro.webapi.auth import Account, AccountRegistry
 from repro.webapi.client import ApiClient
 from repro.webapi.http import ApiResponse
 
-__all__ = ["ServiceSession", "OnlineService"]
+__all__ = ["SessionRoutes", "ServiceSession", "OnlineService"]
+
+
+@dataclass(frozen=True)
+class SessionRoutes:
+    """Where one agent's session talks to: endpoint host + API paths.
+
+    A value object so services describe their routing declaratively
+    (one :meth:`OnlineService.session_routes` hook) instead of each
+    re-implementing client construction with positional path
+    arguments.
+    """
+
+    #: The endpoint host serving this agent (its home DC / edge).
+    api_host: str
+    #: Service-specific API route for writing.
+    post_path: str
+    #: Service-specific API route for reading.
+    fetch_path: str
 
 
 class ServiceSession:
@@ -41,16 +64,17 @@ class ServiceSession:
         The API client bound to the agent host and endpoint host.
     account:
         The account this session acts as.
-    post_path / fetch_path:
-        Service-specific API routes for writing and reading.
+    routes:
+        The :class:`SessionRoutes` naming the write and read paths.
     """
 
     def __init__(self, client: ApiClient, account: Account,
-                 post_path: str, fetch_path: str) -> None:
+                 routes: SessionRoutes) -> None:
         self._client = client
         self.account = account
-        self._post_path = post_path
-        self._fetch_path = fetch_path
+        self.routes = routes
+        self._post_path = routes.post_path
+        self._fetch_path = routes.fetch_path
         self.writes_issued = 0
         self.reads_issued = 0
 
@@ -177,9 +201,39 @@ class OnlineService(abc.ABC):
     def accounts(self) -> AccountRegistry:
         return self._accounts
 
+    def create_session(self, agent: str, agent_host: str,
+                       account: Account | None = None) -> ServiceSession:
+        """Create an authenticated session for an agent.
+
+        The one place sessions are assembled: resolves the account
+        (per-agent by default, see :meth:`session_account`), asks the
+        service where this agent's requests go
+        (:meth:`session_routes`), and wires up the client — tagged
+        with the service name so its request metrics carry a
+        ``service`` label.  Pass ``account`` to act as a specific
+        existing account (e.g. forensic probes reusing an agent's
+        identity).
+        """
+        if account is None:
+            account = self.session_account(agent)
+        routes = self.session_routes(agent_host)
+        client = ApiClient(
+            self._network, agent_host, routes.api_host, account.token,
+            service=self.name,
+        )
+        return ServiceSession(client, account, routes)
+
+    def session_account(self, agent: str) -> Account:
+        """The account a new session acts as (default: per-agent).
+
+        Shared-account services (Google+ moments in the paper's setup)
+        override this to hand every agent the same account.
+        """
+        return self._accounts.create_account(agent)
+
     @abc.abstractmethod
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
-        """Create an authenticated session for an agent."""
+    def session_routes(self, agent_host: str) -> SessionRoutes:
+        """Where an agent's requests go: endpoint host + API paths."""
 
     # -- Shared helpers for subclasses ------------------------------------
 

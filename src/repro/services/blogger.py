@@ -19,12 +19,11 @@ from dataclasses import dataclass
 from repro.net.network import Network
 from repro.net.topology import IRELAND, OREGON, VIRGINIA, Topology
 from repro.replication.strong import PrimaryBackupGroup
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.sim.event_loop import Simulator
 from repro.sim.future import Future
 from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
-from repro.webapi.client import ApiClient
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
@@ -110,10 +109,9 @@ class BloggerService(OnlineService):
 
     # -- Sessions -----------------------------------------------------------
 
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
-        account = self._accounts.create_account(agent)
-        client = ApiClient(
-            self._network, agent_host, self._endpoint_host, account.token
-        )
-        return ServiceSession(client, account,
-                              post_path=POST_PATH, fetch_path=POST_PATH)
+    def session_routes(self, agent_host: str) -> SessionRoutes:
+        # One blog, one API front-end: every agent talks to the
+        # primary-colocated endpoint.
+        return SessionRoutes(api_host=self._endpoint_host,
+                             post_path=POST_PATH,
+                             fetch_path=POST_PATH)

@@ -25,11 +25,10 @@ from dataclasses import dataclass, field
 from repro.net.network import Network
 from repro.net.topology import VIRGINIA, Topology
 from repro.replication.ranking import RankedFeedParams, RankedFeedStore
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.sim.event_loop import Simulator
 from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
-from repro.webapi.client import ApiClient
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
@@ -102,10 +101,9 @@ class FacebookFeedService(OnlineService):
 
     # -- Sessions -----------------------------------------------------------
 
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
-        account = self._accounts.create_account(agent)
-        client = ApiClient(
-            self._network, agent_host, "fbfeed-api", account.token
-        )
-        return ServiceSession(client, account,
-                              post_path=POST_PATH, fetch_path=HOME_PATH)
+    def session_routes(self, agent_host: str) -> SessionRoutes:
+        # One edge endpoint; writes go to the wall, reads to the home
+        # feed.
+        return SessionRoutes(api_host="fbfeed-api",
+                             post_path=POST_PATH,
+                             fetch_path=HOME_PATH)

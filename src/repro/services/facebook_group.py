@@ -30,12 +30,11 @@ from dataclasses import dataclass, field
 from repro.net.network import Network
 from repro.net.topology import TOKYO, VIRGINIA, Topology
 from repro.replication.group_store import GeoGroupStore, GroupStoreParams
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.sim.event_loop import Simulator
 from repro.sim.future import Future
 from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
-from repro.webapi.client import ApiClient
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
@@ -153,12 +152,10 @@ class FacebookGroupService(OnlineService):
 
     # -- Sessions -----------------------------------------------------------
 
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
-        account = self._accounts.create_account(agent)
+    def session_routes(self, agent_host: str) -> SessionRoutes:
+        # Tokyo reads the geo-local follower replica; everyone else
+        # talks to the primary-colocated endpoint.
         to_follower = self._region_name_of(agent_host) == TOKYO.name
-        client = ApiClient(
-            self._network, agent_host, self._api_hosts[to_follower],
-            account.token,
-        )
-        return ServiceSession(client, account,
-                              post_path=FEED_PATH, fetch_path=FEED_PATH)
+        return SessionRoutes(api_host=self._api_hosts[to_follower],
+                             post_path=FEED_PATH,
+                             fetch_path=FEED_PATH)

@@ -24,11 +24,10 @@ from dataclasses import dataclass, field
 from repro.net.network import Network
 from repro.net.topology import IRELAND, OREGON, Topology
 from repro.replication.eventual import EventualGroup, EventualParams
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.sim.event_loop import Simulator
 from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
-from repro.webapi.client import ApiClient
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
@@ -165,14 +164,15 @@ class GooglePlusService(OnlineService):
         region = self._region_name_of(agent_host)
         return self._require(self._homes, region, "home datacenter")
 
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
+    def session_account(self, agent: str) -> Account:
+        # "All agents shared the same account" — there is no notion of
+        # a follower for moments.
+        return self._shared_account
+
+    def session_routes(self, agent_host: str) -> SessionRoutes:
         dc_host = self.home_datacenter(agent_host)
         api_host = {"gplus-dc-us": "gplus-api-us",
                     "gplus-dc-eu": "gplus-api-eu"}[dc_host]
-        client = ApiClient(
-            self._network, agent_host, api_host,
-            self._shared_account.token,
-        )
-        return ServiceSession(client, self._shared_account,
-                              post_path=MOMENTS_PATH,
-                              fetch_path=MOMENTS_PATH)
+        return SessionRoutes(api_host=api_host,
+                             post_path=MOMENTS_PATH,
+                             fetch_path=MOMENTS_PATH)

@@ -27,12 +27,11 @@ from dataclasses import dataclass, field
 from repro.net.network import Network
 from repro.net.topology import IRELAND, OREGON, TOKYO, Region, Topology
 from repro.replication.quorum import QuorumParams, QuorumStore
-from repro.services.base import OnlineService, ServiceSession
+from repro.services.base import OnlineService, SessionRoutes
 from repro.sim.event_loop import Simulator
 from repro.sim.future import Future
 from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
-from repro.webapi.client import ApiClient
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
@@ -155,13 +154,10 @@ class QuorumKvService(OnlineService):
 
     # -- Sessions -----------------------------------------------------------
 
-    def create_session(self, agent: str, agent_host: str) -> ServiceSession:
-        account = self._accounts.create_account(agent)
+    def session_routes(self, agent_host: str) -> SessionRoutes:
         region = self._region_name_of(agent_host)
         api_host = self._require(self._api_by_region, region,
                                  "quorum API host")
-        client = ApiClient(self._network, agent_host, api_host,
-                           account.token)
-        return ServiceSession(client, account,
-                              post_path=EVENTS_PATH,
-                              fetch_path=EVENTS_PATH)
+        return SessionRoutes(api_host=api_host,
+                             post_path=EVENTS_PATH,
+                             fetch_path=EVENTS_PATH)

@@ -30,6 +30,7 @@ from repro.core.anomalies.registry import TraceReport
 from repro.core.trace import ReadOp, TestTrace
 from repro.core.windows import WindowResult
 from repro.methodology.runner import TestRecord
+from repro.obs import ObsContext
 from repro.stream.base import StreamingChecker, StreamOp, TestMeta
 from repro.stream.divergence import (
     StreamingContentDivergenceChecker,
@@ -98,7 +99,13 @@ class StreamEngine:
     """
 
     def __init__(self, horizon: int | None = DEFAULT_HORIZON,
-                 checkers: list[StreamingChecker] | None = None):
+                 checkers: list[StreamingChecker] | None = None,
+                 obs: ObsContext | None = None):
+        #: Optional observability context.  Updated only at test
+        #: closure, timestamped from the closed test's own stream
+        #: times — so exports depend on the operation stream alone,
+        #: never on host scheduling.
+        self.obs = obs
         self.checkers = (checkers if checkers is not None
                          else default_streaming_checkers())
         self.content_windows = streaming_content_windows()
@@ -187,6 +194,22 @@ class StreamEngine:
         self.tests_closed += 1
         self.live_observations = 0 if not self._counters else \
             self.live_observations
+        if self.obs is not None:
+            at = counters.max_time if counters.max_time is not None \
+                else 0.0
+            metrics = self.obs.metrics
+            metrics.counter("stream.tests_closed_total",
+                            service=meta.service).inc(at=at)
+            ops = (sum(counters.reads.values())
+                   + sum(counters.writes.values()))
+            metrics.counter("stream.operations_total",
+                            service=meta.service).inc(ops, at=at)
+            metrics.gauge("stream.state_size").set(
+                self.state_size(), at=at
+            )
+            metrics.gauge("stream.open_tests").set(
+                self.open_tests, at=at
+            )
         return record
 
     # -- telemetry ----------------------------------------------------

@@ -11,7 +11,7 @@ information is available:
 
 * ``on_test`` fires after every test closes, giving the executor a
   per-test anomaly summary to forward as
-  :class:`~repro.fleet.events.ShardTestChecked` telemetry — in
+  :class:`~repro.obs.events.ShardTestChecked` telemetry — in
   parallel mode workers pipe these to the host as interim messages
   while the shard is still running;
 * with a ``trace_path``, every operation is appended to a trace-event

@@ -35,9 +35,12 @@ from repro.core.anomalies.content_divergence import (
 from repro.core.anomalies.order_divergence import views_order_diverged
 from repro.core.trace import ReadOp
 from repro.core.windows import WindowResult
+from repro.obs.events import WindowEvent
 from repro.stream.base import StreamOp, TestMeta
 
 __all__ = [
+    #: Canonical home is :mod:`repro.obs.events`; re-exported here as
+    #: a backward-compat alias.
     "WindowEvent",
     "StreamingWindowTracker",
     "streaming_content_windows",
@@ -45,23 +48,6 @@ __all__ = [
 ]
 
 ViewPredicate = Callable[[tuple[str, ...], tuple[str, ...]], bool]
-
-
-@dataclass(frozen=True)
-class WindowEvent:
-    """A divergence window opening or closing, live.
-
-    ``kind`` is ``"content"`` or ``"order"``; ``action`` is
-    ``"opened"`` or ``"closed"``.  For ``closed`` events ``start``
-    carries the matching open time, so a consumer can render the
-    completed interval without keeping its own per-pair state.
-    """
-
-    kind: str
-    action: str
-    pair: tuple[str, str]
-    time: float
-    start: float | None = None
 
 
 @dataclass

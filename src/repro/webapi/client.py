@@ -4,6 +4,14 @@ A thin wrapper over :meth:`repro.net.network.Network.rpc` that speaks
 :class:`~repro.webapi.http.ApiRequest` / ``ApiResponse``, carries the
 bearer token, and counts requests — the counts feed the campaign totals
 the paper reports (total reads/writes per service, §V).
+
+Accounting contract: ``requests_sent`` (and the
+``api.requests_total`` counter) increments exactly once per **wire
+request** — a 429-retried operation counts once per attempt, never
+once per operation and never twice per attempt.  The agent's span
+layer records the same attempts on its operation spans, so campaign
+totals derived from counters and from spans must agree (asserted by
+the retry-accounting regression test).
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from typing import Any, Mapping
 
 from repro.net.network import DEFAULT_RPC_TIMEOUT, Network
 from repro.sim.future import Future
-from repro.webapi.http import ApiRequest
+from repro.webapi.http import ApiRequest, ApiResponse
 
 __all__ = ["ApiClient"]
 
@@ -22,13 +30,31 @@ class ApiClient:
 
     def __init__(self, network: Network, client_host: str,
                  service_host: str, token: str,
-                 timeout: float = DEFAULT_RPC_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_RPC_TIMEOUT,
+                 service: str = "") -> None:
         self._network = network
         self.client_host = client_host
         self.service_host = service_host
+        self.service = service
         self._token = token
         self._timeout = timeout
         self.requests_sent = 0
+        self._obs = network.obs
+        self._request_counters: dict[str, Any] = {}
+        self._latency = None
+        if self._obs is not None:
+            labels = {"service": service or "unknown",
+                      "host": service_host}
+            self._labels = labels
+            self._request_counters = {
+                method: self._obs.metrics.counter(
+                    "api.requests_total", method=method, **labels
+                )
+                for method in ("GET", "POST")
+            }
+            self._latency = self._obs.metrics.histogram(
+                "api.request_seconds", **labels
+            )
 
     def get(self, path: str,
             params: Mapping[str, Any] | None = None) -> Future:
@@ -47,7 +73,36 @@ class ApiClient:
             method=method, path=path, params=dict(params or {}),
             token=self._token,
         )
-        return self._network.rpc(
+        reply = self._network.rpc(
             self.client_host, self.service_host, request,
             timeout=self._timeout,
         )
+        if self._obs is not None:
+            self._count_request(method, reply)
+        return reply
+
+    def _count_request(self, method: str, reply: Future) -> None:
+        counter = self._request_counters.get(method)
+        if counter is None:
+            counter = self._obs.metrics.counter(
+                "api.requests_total", method=method, **self._labels
+            )
+            self._request_counters[method] = counter
+        counter.inc()
+        started = self._obs.now()
+
+        def on_done(future: Future) -> None:
+            finished = self._obs.now()
+            self._latency.observe(finished - started, at=finished)
+            if future.failed:
+                status = "unreachable"
+            else:
+                response = future.value
+                status = (str(response.status)
+                          if isinstance(response, ApiResponse)
+                          else "invalid")
+            self._obs.metrics.counter(
+                "api.responses_total", status=status, **self._labels
+            ).inc(at=finished)
+
+        reply.add_callback(on_done)

@@ -1,0 +1,410 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the metric/span primitives, snapshot merging, the
+digest-validated export, campaign determinism (same seed ->
+byte-identical export; serial == fleet-merged), the retry-accounting
+contract between the API client's counters and the agent's spans, the
+backward-compat aliases for the pre-unification telemetry imports, and
+the ``repro-consistency obs`` CLI subcommand.
+"""
+
+import importlib
+import json
+import sys
+import warnings
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import AnalysisError, ConfigurationError
+from repro.fleet import FleetSpec, run_fleet
+from repro.methodology import (
+    CampaignConfig,
+    MeasurementWorld,
+    run_campaign,
+)
+from repro.obs import (
+    MetricsRegistry,
+    ObsContext,
+    Tracer,
+    merge_metric_snapshots,
+    merge_obs_snapshots,
+)
+from repro.obs.export import export_snapshot, load_snapshot
+from repro.services.blogger import BloggerParams
+from repro.sim import spawn
+from repro.webapi import RateLimit
+
+TINY = CampaignConfig(num_tests=2, seed=11, test_types=("test1",))
+
+
+def make_registry():
+    """A registry on a hand-cranked clock: set ``clock['t']`` to move."""
+    clock = {"t": 0.0}
+    return MetricsRegistry(now_fn=lambda: clock["t"]), clock
+
+
+class TestCounters:
+    def test_inc_accumulates_and_timestamps(self):
+        registry, clock = make_registry()
+        counter = registry.counter("ops", kind="read")
+        clock["t"] = 1.5
+        counter.inc()
+        assert counter.value == 1
+        assert counter.updated == 1.5
+        counter.inc(2, at=9.0)
+        assert counter.value == 3
+        assert counter.updated == 9.0
+
+    def test_negative_increment_rejected(self):
+        registry, _ = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("ops").inc(-1)
+
+    def test_identity_is_name_plus_labels(self):
+        registry, _ = make_registry()
+        a = registry.counter("ops", kind="read")
+        assert registry.counter("ops", kind="read") is a
+        assert registry.counter("ops", kind="write") is not a
+
+    def test_type_conflict_raises(self):
+        registry, _ = make_registry()
+        registry.counter("ops", kind="read")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("ops", kind="read")
+
+
+class TestHistograms:
+    def test_bucketing_with_overflow(self):
+        registry, _ = make_registry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(6.05)
+
+    def test_buckets_must_ascend(self):
+        registry, _ = make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("lat", buckets=(1.0, 0.1))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("lat", buckets=())
+
+    def test_redefining_buckets_raises(self):
+        registry, _ = make_registry()
+        registry.histogram("lat", buckets=(0.1, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("lat", buckets=(0.5,))
+
+
+class TestSnapshotsAndMerge:
+    def test_snapshot_sorted_by_type_name_labels(self):
+        registry, _ = make_registry()
+        registry.gauge("b")
+        registry.counter("z")
+        registry.counter("a", x="2")
+        registry.counter("a", x="1")
+        keys = [(e["type"], e["name"], e["labels"])
+                for e in registry.snapshot()]
+        assert keys == [
+            ("counter", "a", {"x": "1"}),
+            ("counter", "a", {"x": "2"}),
+            ("counter", "z", {}),
+            ("gauge", "b", {}),
+        ]
+
+    def test_single_snapshot_merge_is_identity(self):
+        registry, _ = make_registry()
+        registry.counter("ops").inc(3, at=1.0)
+        registry.gauge("depth").set(7, at=2.0)
+        registry.histogram("lat", buckets=(0.5,)).observe(0.2, at=3.0)
+        snapshot = registry.snapshot()
+        assert merge_metric_snapshots([snapshot]) == snapshot
+
+    def test_counters_sum_gauges_take_latest_writer(self):
+        first, _ = make_registry()
+        second, _ = make_registry()
+        first.counter("ops").inc(2, at=1.0)
+        second.counter("ops").inc(3, at=4.0)
+        first.gauge("depth").set(10, at=5.0)
+        second.gauge("depth").set(20, at=3.0)
+        merged = {(e["type"], e["name"]): e
+                  for e in merge_metric_snapshots(
+                      [first.snapshot(), second.snapshot()])}
+        assert merged[("counter", "ops")]["value"] == 5
+        assert merged[("counter", "ops")]["updated"] == 4.0
+        # The gauge's later write (t=5.0) wins regardless of order.
+        assert merged[("gauge", "depth")]["value"] == 10
+
+    def test_histograms_merge_elementwise(self):
+        first, _ = make_registry()
+        second, _ = make_registry()
+        first.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        second.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        (entry,) = merge_metric_snapshots(
+            [first.snapshot(), second.snapshot()]
+        )
+        assert entry["counts"] == [1, 1, 0]
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(0.55)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        first, _ = make_registry()
+        second, _ = make_registry()
+        first.histogram("lat", buckets=(0.1,)).observe(0.05)
+        second.histogram("lat", buckets=(0.2,)).observe(0.05)
+        with pytest.raises(AnalysisError):
+            merge_metric_snapshots(
+                [first.snapshot(), second.snapshot()]
+            )
+
+
+class TestTracer:
+    def test_sequential_ids_and_parenting(self):
+        tracer = Tracer(now_fn=lambda: 2.0)
+        parent = tracer.start("outer", op="w")
+        child = tracer.start("inner", parent=parent)
+        assert (parent.span_id, child.span_id) == (1, 2)
+        assert child.parent_id == 1
+        assert parent.start == 2.0
+
+    def test_finish_order_and_attrs(self):
+        tracer = Tracer()
+        a = tracer.start("a", at=0.0)
+        b = tracer.start("b", at=1.0)
+        tracer.finish(b, at=2.0, ok=True)
+        tracer.finish(a, at=3.0, attempts=2)
+        names = [span["name"] for span in tracer.snapshot()]
+        assert names == ["b", "a"]
+        assert tracer.snapshot()[1]["attrs"] == {"attempts": 2}
+        assert a.duration == 3.0
+
+
+class TestObsContext:
+    def test_snapshot_is_json_safe(self):
+        context = ObsContext()
+        context.metrics.counter("ops").inc(at=1.0)
+        context.tracer.finish(context.tracer.start("op", at=0.0),
+                              at=1.0, ok=True)
+        snapshot = context.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_merge_concatenates_spans_in_order(self):
+        first, second = ObsContext(), ObsContext()
+        first.tracer.finish(first.tracer.start("one", at=0.0), at=1.0)
+        second.tracer.finish(second.tracer.start("two", at=0.0),
+                             at=1.0)
+        merged = merge_obs_snapshots(
+            [first.snapshot(), second.snapshot()]
+        )
+        assert [s["name"] for s in merged["spans"]] == ["one", "two"]
+
+    def test_merging_one_snapshot_is_identity(self):
+        context = ObsContext()
+        context.metrics.counter("ops").inc(at=1.0)
+        snapshot = context.snapshot()
+        assert merge_obs_snapshots([snapshot]) == snapshot
+
+
+class TestExport:
+    def test_round_trip(self, tmp_path):
+        context = ObsContext()
+        context.metrics.counter("ops", kind="read").inc(3, at=1.5)
+        context.tracer.finish(context.tracer.start("op", at=0.0),
+                              at=1.0, attempts=1)
+        snapshot = context.snapshot()
+        path = tmp_path / "run.obs.jsonl"
+        export_snapshot(snapshot, path)
+        assert load_snapshot(path) == snapshot
+
+    def test_tampering_is_detected(self, tmp_path):
+        context = ObsContext()
+        context.metrics.counter("ops").inc(3, at=1.5)
+        path = tmp_path / "run.obs.jsonl"
+        export_snapshot(context.snapshot(), path)
+        text = path.read_text(encoding="utf-8")
+        tampered = text.replace('"value":3', '"value":4')
+        assert tampered != text  # the edit really landed
+        path.write_text(tampered, encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_snapshot(path)
+
+
+class TestCampaignObs:
+    def test_same_seed_exports_byte_identical(self, tmp_path):
+        first = run_campaign("blogger", TINY)
+        second = run_campaign("blogger", TINY)
+        path_a = tmp_path / "a.obs.jsonl"
+        path_b = tmp_path / "b.obs.jsonl"
+        export_snapshot(first.obs, path_a)
+        export_snapshot(second.obs, path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_serial_equals_fleet_merged(self):
+        serial = run_campaign("blogger", TINY).obs
+        spec = FleetSpec(services=("blogger",), base_config=TINY,
+                         seeds=(TINY.seed,))
+        assert run_fleet(spec, jobs=2).merged_obs() == serial
+
+    def test_requests_reconcile_with_responses(self):
+        snapshot = run_campaign("blogger", TINY).obs
+        totals = {"requests": 0.0, "responses": 0.0}
+        for entry in snapshot["metrics"]:
+            if entry["name"] == "api.requests_total":
+                totals["requests"] += entry["value"]
+            elif entry["name"] == "api.responses_total":
+                totals["responses"] += entry["value"]
+        assert totals["requests"] > 0
+        # Every wire request resolved into exactly one response event.
+        assert totals["responses"] == totals["requests"]
+
+
+def drive(world, generator_fn, *args, **kwargs):
+    process = spawn(world.sim, generator_fn, *args, **kwargs)
+    while not process.completion.done:
+        world.sim.run_until(world.sim.now + 30.0)
+    return process.completion.value
+
+
+class TestRetryAccounting:
+    """Wire-request counters, client totals, and span attempt totals
+    must agree even when 429 back-off retries multiply requests."""
+
+    def make_limited_world(self):
+        return MeasurementWorld(
+            "blogger", seed=3,
+            service_params=BloggerParams(
+                rate_limit=RateLimit(max_requests=2, window=5.0),
+            ),
+        )
+
+    def test_counters_spans_and_client_agree_under_429s(self):
+        world = self.make_limited_world()
+        agent = world.agent("oregon")
+
+        def post_burst():
+            for index in range(6):
+                ok = yield from agent.timed_post(f"M{index}")
+                assert ok is True
+
+        drive(world, post_burst)
+        # Let every in-flight response future resolve.
+        world.sim.run_until(world.sim.now + 30.0)
+
+        snapshot = world.obs.snapshot()
+        requests = sum(e["value"] for e in snapshot["metrics"]
+                       if e["name"] == "api.requests_total")
+        responses_by_status: dict[str, float] = {}
+        for entry in snapshot["metrics"]:
+            if entry["name"] == "api.responses_total":
+                status = entry["labels"]["status"]
+                responses_by_status[status] = \
+                    responses_by_status.get(status, 0.0) + entry["value"]
+
+        client = agent.session._client
+        assert client.requests_sent == requests
+        assert sum(responses_by_status.values()) == requests
+        # The tight limit forced actual 429 retries.
+        assert responses_by_status.get("429", 0) > 0
+        assert requests > 6
+
+        write_spans = [s for s in snapshot["spans"]
+                       if s["name"] == "agent.write"]
+        assert len(write_spans) == 6
+        assert all(s["attrs"]["ok"] for s in write_spans)
+        # Span attempt totals == wire requests; span 429 totals ==
+        # counted 429 responses (the accounting contract).
+        assert sum(s["attrs"]["attempts"]
+                   for s in write_spans) == requests
+        assert sum(s["attrs"]["rate_limited"]
+                   for s in write_spans) \
+            == responses_by_status["429"]
+
+
+class TestCompatAliases:
+    def test_fleet_events_module_warns_and_reexports(self):
+        sys.modules.pop("repro.fleet.events", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module("repro.fleet.events")
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        from repro import obs
+        for name in module.__all__:
+            assert getattr(module, name) \
+                is getattr(obs.events, name)
+
+    def test_fleet_package_reexports_warning_free(self):
+        # ``repro.fleet`` re-exports straight from the canonical home,
+        # so the supported import path never touches the shim.
+        import repro.fleet as fleet
+        from repro.obs.events import ShardStarted
+        assert fleet.ShardStarted is ShardStarted
+
+    def test_stream_windows_reexports_window_event(self):
+        from repro.obs.events import WindowEvent as canonical
+        from repro.stream.windows import WindowEvent
+        assert WindowEvent is canonical
+
+
+class TestSessionRoutes:
+    def test_blogger_sessions_route_to_single_endpoint(self):
+        world = MeasurementWorld("blogger", seed=1)
+        routes = {agent.session.routes for agent in world.agents}
+        assert len(routes) == 1
+        (route,) = routes
+        assert route.api_host == "blogger-api"
+        assert route.post_path == route.fetch_path
+        accounts = {agent.session.account.token
+                    for agent in world.agents}
+        assert len(accounts) == 3  # per-agent accounts
+
+    def test_googleplus_sessions_share_one_account(self):
+        world = MeasurementWorld("googleplus", seed=1)
+        accounts = {agent.session.account.token
+                    for agent in world.agents}
+        assert len(accounts) == 1  # the paper's shared-account setup
+        hosts = {agent.session.routes.api_host
+                 for agent in world.agents}
+        assert len(hosts) > 1  # but per-region API endpoints
+
+
+class TestCli:
+    def test_legacy_output_flags_alias_out_convention(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--service", "blogger", "--output", "x.json"]
+        )
+        assert args.campaign_out == "x.json"
+        args = parser.parse_args(["fleet", "--out", "artifacts"])
+        assert args.store_out == "artifacts"
+
+    def test_run_export_and_obs_report(self, tmp_path, capsys):
+        path = tmp_path / "run.obs.jsonl"
+        rc = main(["run", "--service", "blogger", "--tests", "1",
+                   "--seed", "3", "--obs-out", str(path)])
+        assert rc == 0
+        assert path.is_file()
+        capsys.readouterr()
+        assert main(["obs", str(path)]) == 0
+        report = capsys.readouterr().out
+        assert "api.requests_total" in report
+        assert "blogger" in report
+        assert main(["obs", str(path), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot == load_snapshot(path)
+
+    def test_obs_on_fleet_store_merges_shards(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        spec = FleetSpec(services=("blogger",), base_config=TINY,
+                         seeds=(TINY.seed,))
+        outcome = run_fleet(spec, out_dir=store)
+        assert main(["obs", str(store), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot == outcome.merged_obs()
+
+    def test_obs_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["obs", str(tmp_path / "missing.obs.jsonl")])
+        assert rc == 2
+        assert "cannot read obs data" in capsys.readouterr().err

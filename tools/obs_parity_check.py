@@ -1,0 +1,129 @@
+"""CI gate: obs exports must be deterministic and merge-stable.
+
+Three escalating checks:
+
+1. **Export determinism** — running the same (service, config, seed)
+   campaign twice yields byte-identical metrics/span exports.
+2. **Merge stability** — the same fleet spec run serially, on two
+   workers, and in streaming mode produces one merged obs snapshot
+   (worker scheduling and the detection path must never leak into
+   telemetry).
+3. **Serial/fleet byte parity** — a single-shard fleet's merged obs
+   export equals the bare ``run_campaign`` export byte for byte, and
+   a resumed fleet restores the identical snapshot from the store.
+
+    python tools/obs_parity_check.py [num_tests] [seed]
+
+Exit code 0 on parity, 1 with a diagnostic on any mismatch.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.methodology import CampaignConfig, run_campaign
+from repro.obs.export import export_snapshot
+
+SERVICES = ("blogger", "googleplus")
+
+
+def _export_bytes(snapshot, directory, name):
+    path = Path(directory) / name
+    export_snapshot(snapshot, path)
+    return path.read_bytes()
+
+
+def check_export_determinism(num_tests, seed, failures):
+    campaigns = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for service in SERVICES:
+            config = CampaignConfig(num_tests=num_tests, seed=seed)
+            first = run_campaign(service, config)
+            second = run_campaign(service, config)
+            campaigns += 2
+            if _export_bytes(first.obs, tmp, f"{service}-a.jsonl") \
+                    != _export_bytes(second.obs, tmp,
+                                     f"{service}-b.jsonl"):
+                failures.append(
+                    f"{service}: same-seed obs exports differ"
+                )
+    return campaigns
+
+
+def check_merge_stability(num_tests, seed, failures):
+    spec = FleetSpec(
+        services=SERVICES,
+        base_config=CampaignConfig(num_tests=num_tests, seed=seed,
+                                   test_types=("test1",)),
+        seeds=(seed, seed + 1),
+    )
+    serial = run_fleet(spec).merged_obs()
+    if serial is None:
+        failures.append("serial fleet produced no merged obs")
+        return spec.total_shards
+    parallel = run_fleet(spec, jobs=2).merged_obs()
+    if parallel != serial:
+        failures.append("2-worker merged obs differs from serial")
+    streaming = run_fleet(spec, stream=True).merged_obs()
+    if streaming != serial:
+        failures.append("streaming-mode merged obs differs from "
+                        "batch-mode")
+    return spec.total_shards
+
+
+def check_serial_fleet_byte_parity(num_tests, seed, failures):
+    config = CampaignConfig(num_tests=num_tests, seed=seed)
+    spec = FleetSpec(services=("blogger",), base_config=config,
+                     seeds=(seed,))
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_bytes = _export_bytes(
+            run_campaign("blogger", config).obs, tmp, "serial.jsonl"
+        )
+        store_dir = Path(tmp) / "store"
+        fleet = run_fleet(spec, jobs=2, out_dir=store_dir)
+        fleet_bytes = _export_bytes(fleet.merged_obs(), tmp,
+                                    "fleet.jsonl")
+        if fleet_bytes != serial_bytes:
+            failures.append(
+                "single-shard fleet merged obs export != serial "
+                "campaign export"
+            )
+        resumed = run_fleet(spec, out_dir=store_dir)
+        if not resumed.skipped:
+            failures.append("resume re-executed a complete shard")
+        resumed_obs = resumed.merged_obs()
+        if resumed_obs is None:
+            failures.append("resume did not restore obs snapshots "
+                            "from the store")
+        elif _export_bytes(resumed_obs, tmp,
+                           "resumed.jsonl") != serial_bytes:
+            failures.append("resumed fleet obs export != serial "
+                            "campaign export")
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else 4
+    seed = int(args[1]) if len(args) > 1 else 11
+
+    failures = []
+    campaigns = check_export_determinism(num_tests, seed, failures)
+    shards = check_merge_stability(num_tests, seed, failures)
+    check_serial_fleet_byte_parity(num_tests, seed, failures)
+
+    if failures:
+        print(f"obs parity check FAILED ({campaigns} campaigns, "
+              f"{shards} shards):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"obs parity check passed: {campaigns} campaigns export "
+          f"byte-identically, serial == 2-worker == streaming merge "
+          f"over {shards} shards, single-shard fleet export == "
+          "serial export, resume restores snapshots")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
