@@ -13,7 +13,9 @@ factor, where the asymmetries lie.  Absolute numbers need not match:
 the substrate is a simulator, not the authors' 2015 testbed.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +27,27 @@ BENCH_SEED = 3
 
 def bench_num_tests() -> int:
     return int(os.environ.get("REPRO_BENCH_TESTS", "60"))
+
+
+@pytest.fixture(scope="session")
+def bench_json_writer():
+    """Write a ``BENCH_<name>.json`` machine-readable result file.
+
+    Files land in ``REPRO_BENCH_OUT`` (default: the current working
+    directory) so CI can collect them as artifacts and diff runs.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+
+    def write(name: str, payload: dict) -> Path:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,97 @@
+"""repro.calibrate — deterministic fidelity search over service models.
+
+Fits each service's profile knobs to the paper's published numbers
+(Figures 3/8/9/10, Tables I/II) with the shape of a hyperparameter
+tuner: declarative parameter spaces (:mod:`~repro.calibrate.space`),
+weighted-loss objectives computed by the existing figure code
+(:mod:`~repro.calibrate.objective`), deterministic grid and
+successive-halving searchers (:mod:`~repro.calibrate.search`), a
+fleet-backed trial evaluator with a digest-validated, resumable trial
+store (:mod:`~repro.calibrate.evaluator`,
+:mod:`~repro.calibrate.store`), and measured-vs-paper reporting
+(:mod:`~repro.calibrate.report`).  Checked-in winners and the CI
+fidelity budgets live in :mod:`~repro.calibrate.winners`.
+
+Everything is a pure function of its inputs: randomness (only the
+optional candidate subsample) routes through
+:class:`~repro.sim.random_source.RandomSource`, and there is no wall
+clock anywhere — ``repro.lint`` enforces both, with this package in
+its DET004 aggregation scope.
+"""
+
+from repro.calibrate.evaluator import FleetEvaluator, run_calibration
+from repro.calibrate.objective import (
+    FidelityScore,
+    FidelityTerm,
+    Objective,
+    ObjectiveWeights,
+    default_objective,
+)
+from repro.calibrate.report import (
+    comparison_table,
+    fidelity_json,
+    fidelity_table,
+    write_fidelity_json,
+)
+from repro.calibrate.search import (
+    GridSearch,
+    SearchOutcome,
+    SuccessiveHalving,
+    TrialResult,
+    make_searcher,
+    search_key,
+)
+from repro.calibrate.space import (
+    Axis,
+    SearchSpace,
+    apply_assignment,
+    base_params,
+    default_space,
+)
+from repro.calibrate.store import TrialStore
+from repro.calibrate.targets import (
+    PAPER_TARGETS,
+    TARGETS_VERSION,
+    ServiceTargets,
+    paper_targets,
+    target_services,
+)
+from repro.calibrate.winners import (
+    CALIBRATED_ASSIGNMENTS,
+    FIDELITY_BUDGETS,
+    calibrated_params,
+)
+
+__all__ = [
+    "Axis",
+    "CALIBRATED_ASSIGNMENTS",
+    "FIDELITY_BUDGETS",
+    "FidelityScore",
+    "FidelityTerm",
+    "FleetEvaluator",
+    "GridSearch",
+    "Objective",
+    "ObjectiveWeights",
+    "PAPER_TARGETS",
+    "SearchOutcome",
+    "SearchSpace",
+    "ServiceTargets",
+    "SuccessiveHalving",
+    "TARGETS_VERSION",
+    "TrialResult",
+    "TrialStore",
+    "apply_assignment",
+    "base_params",
+    "calibrated_params",
+    "comparison_table",
+    "default_objective",
+    "default_space",
+    "fidelity_json",
+    "fidelity_table",
+    "make_searcher",
+    "paper_targets",
+    "run_calibration",
+    "search_key",
+    "target_services",
+    "write_fidelity_json",
+]

@@ -1,0 +1,183 @@
+"""Fleet-backed trial evaluation and the top-level search driver.
+
+One rung of a search = one :class:`~repro.fleet.spec.FleetSpec`: the
+service under calibration, the rung's test budget, one campaign seed,
+and a ``param_grid`` with one labelled entry per surviving candidate.
+Running it through :func:`~repro.fleet.executor.run_fleet` buys
+everything the fleet engine already guarantees — parallel workers
+with bit-identical merged output, per-candidate obs snapshots, and
+shard-level checkpoint/resume — without this module owning a single
+process.
+
+On top of that, completed rungs are persisted to the
+:class:`~repro.calibrate.store.TrialStore`: a digest-valid batch is
+returned without re-running anything, while a damaged one falls back
+to the rung's fleet store and resumes shard-by-shard.
+
+:func:`run_calibration` wires the pieces together: build the default
+space/objective, bind the store to the exact search (see
+:func:`~repro.calibrate.search.search_key`), and hand the evaluator
+to the searcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.calibrate.objective import Objective, default_objective
+from repro.calibrate.search import (
+    GridSearch,
+    SearchOutcome,
+    SuccessiveHalving,
+    TrialResult,
+    make_searcher,
+    search_key,
+)
+from repro.calibrate.space import SearchSpace, default_space
+from repro.calibrate.store import TrialStore
+from repro.errors import CalibrationError
+from repro.fleet.executor import run_fleet
+from repro.fleet.spec import FleetSpec
+from repro.methodology.config import CampaignConfig
+
+__all__ = ["FleetEvaluator", "run_calibration"]
+
+#: Progress callback: receives one human-readable line per rung.
+MessageCallback = Callable[[str], None]
+
+
+@dataclass
+class FleetEvaluator:
+    """Evaluate candidate batches as fleet campaigns, with resume."""
+
+    space: SearchSpace
+    objective: Objective
+    base_config: CampaignConfig
+    jobs: int = 1
+    store: TrialStore | None = None
+    on_message: MessageCallback | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_config.service_params is not None:
+            raise CalibrationError(
+                "base_config.service_params must be None: candidates "
+                "supply service parameters through the search space"
+            )
+        if self.base_config.keep_traces:
+            raise CalibrationError(
+                "keep_traces is incompatible with trial evaluation "
+                "(traces do not cross the fleet worker boundary)"
+            )
+
+    def _say(self, message: str) -> None:
+        if self.on_message is not None:
+            self.on_message(message)
+
+    def __call__(self, rung: int, num_tests: int,
+                 candidates: list[tuple[int, dict[str, Any]]]
+                 ) -> list[TrialResult]:
+        batch_id = f"r{rung}"
+        if self.store is not None and \
+                self.store.batch_state(batch_id) == "complete":
+            trials = self._load_cached(batch_id, num_tests, candidates)
+            self._say(f"rung {rung}: {len(candidates)} candidate(s) "
+                      f"x {num_tests} tests/type [resumed from store]")
+            return trials
+        self._say(f"rung {rung}: {len(candidates)} candidate(s) "
+                  f"x {num_tests} tests/type")
+        spec = FleetSpec(
+            services=(self.space.service,),
+            base_config=replace(self.base_config,
+                                num_tests=num_tests),
+            seeds=(self.base_config.seed,),
+            param_grid=tuple(
+                (self.space.label(index),
+                 self.space.params(assignment))
+                for index, assignment in candidates
+            ),
+        )
+        out_dir = (self.store.fleet_dir(batch_id)
+                   if self.store is not None else None)
+        outcome = run_fleet(spec, jobs=self.jobs, out_dir=out_dir)
+        trials = [
+            TrialResult(
+                trial_id=f"r{rung}/{self.space.label(index)}",
+                candidate=index,
+                rung=rung,
+                num_tests=num_tests,
+                assignment=assignment,
+                score=self.objective.evaluate(result),
+            )
+            for (index, assignment), result
+            in zip(candidates, outcome.results)
+        ]
+        if self.store is not None:
+            self.store.write_batch(
+                batch_id, rung, num_tests,
+                [trial.to_jsonable() for trial in trials],
+            )
+        return trials
+
+    def _load_cached(self, batch_id: str, num_tests: int,
+                     candidates: list[tuple[int, dict[str, Any]]]
+                     ) -> list[TrialResult]:
+        trials = [TrialResult.from_jsonable(payload)
+                  for payload in self.store.load_batch(batch_id)]
+        expected = [index for index, _ in candidates]
+        stored = [trial.candidate for trial in trials]
+        budgets = sorted({trial.num_tests for trial in trials})
+        if stored != expected or budgets != [num_tests]:
+            raise CalibrationError(
+                f"batch {batch_id!r} in {self.store.root} holds "
+                f"candidates {stored} at {budgets} tests, but the "
+                f"search asked for {expected} at {num_tests}; the "
+                "store does not match this search"
+            )
+        return trials
+
+
+def run_calibration(service: str, *,
+                    searcher: str | GridSearch | SuccessiveHalving
+                    = "halving",
+                    space: SearchSpace | None = None,
+                    objective: Objective | None = None,
+                    base_config: CampaignConfig | None = None,
+                    num_tests: int = 6,
+                    eta: int = 3,
+                    jobs: int = 1,
+                    store_dir: str | Path | None = None,
+                    on_message: MessageCallback | None = None
+                    ) -> SearchOutcome:
+    """Run one full calibration search for one service.
+
+    ``num_tests`` is the rung-0 budget (tests per test type); grid
+    search uses it as its single fixed budget, successive halving
+    multiplies it by ``eta`` per rung.  With ``store_dir``, trials
+    persist and a re-invocation resumes: digest-valid rungs are
+    loaded, a half-finished rung resumes shard-by-shard through its
+    fleet store.
+    """
+    space = space if space is not None else default_space(service)
+    if space.service != service:
+        raise CalibrationError(
+            f"search space is for {space.service!r}, not {service!r}"
+        )
+    objective = (objective if objective is not None
+                 else default_objective(service))
+    base_config = (base_config if base_config is not None
+                   else CampaignConfig())
+    if isinstance(searcher, str):
+        searcher = make_searcher(searcher, space, num_tests=num_tests,
+                                 seed=base_config.seed, eta=eta)
+    store: TrialStore | None = None
+    if store_dir is not None:
+        store = TrialStore(store_dir)
+        store.initialize(search_key(space, searcher.describe(),
+                                    objective, base_config))
+    evaluator = FleetEvaluator(
+        space=space, objective=objective, base_config=base_config,
+        jobs=jobs, store=store, on_message=on_message,
+    )
+    return searcher.run(evaluator)

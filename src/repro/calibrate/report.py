@@ -1,0 +1,106 @@
+"""Fidelity rendering: measured-vs-paper tables and ``fidelity.json``.
+
+Two consumers share this module: the ``repro-consistency calibrate``
+subcommand (search winner vs. baseline) and ``tools/calibrate.py``
+(the thin development shim).  The machine-readable export is a plain
+sorted-keys JSON document so CI diffs stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.calibrate.objective import FidelityScore
+from repro.calibrate.targets import TARGETS_VERSION
+
+__all__ = [
+    "FIDELITY_SCHEMA_VERSION",
+    "fidelity_table",
+    "comparison_table",
+    "fidelity_json",
+    "write_fidelity_json",
+]
+
+FIDELITY_SCHEMA_VERSION = 1
+
+
+def fidelity_table(score: FidelityScore) -> str:
+    """One service's terms as an aligned measured-vs-paper table."""
+    header = (f"{'term':34s}{'measured':>10s}{'paper':>10s}"
+              f"{'weight':>8s}{'loss':>8s}")
+    lines = [
+        f"{score.service}: weighted fidelity loss "
+        f"{score.total:.4f}",
+        header,
+        "-" * len(header),
+    ]
+    for term in score.terms:
+        lines.append(
+            f"{term.name:34s}{term.measured:10.3f}"
+            f"{term.target:10.3f}{term.weight:8.2f}{term.loss:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(baseline: FidelityScore,
+                     calibrated: FidelityScore,
+                     labels: tuple[str, str] = ("default",
+                                                "calibrated")) -> str:
+    """Term-by-term paper / baseline / calibrated comparison.
+
+    Both scores must come from the same objective (same term list);
+    the table shows, per term, whether calibration moved the measured
+    value toward the paper.
+    """
+    first, second = labels
+    header = (f"{'term':34s}{'paper':>10s}{first:>12s}"
+              f"{second:>12s}")
+    lines = [
+        f"{calibrated.service}: fidelity loss {first} "
+        f"{baseline.total:.4f} -> {second} {calibrated.total:.4f}",
+        header,
+        "-" * len(header),
+    ]
+    calibrated_terms = {term.name: term for term in calibrated.terms}
+    for term in baseline.terms:
+        other = calibrated_terms.get(term.name)
+        cell = f"{other.measured:12.3f}" if other is not None \
+            else f"{'-':>12s}"
+        lines.append(
+            f"{term.name:34s}{term.target:10.3f}"
+            f"{term.measured:12.3f}{cell}"
+        )
+    return "\n".join(lines)
+
+
+def fidelity_json(scores: dict[str, FidelityScore],
+                  extra: dict | None = None) -> dict:
+    """The machine-readable fidelity document.
+
+    ``scores`` maps an arbitrary label (usually a service name, or
+    ``"<service>.default"`` in comparisons) to its score.
+    """
+    document = {
+        "fidelity_schema_version": FIDELITY_SCHEMA_VERSION,
+        "targets_version": TARGETS_VERSION,
+        "scores": {label: score.to_jsonable()
+                   for label, score in sorted(scores.items())},
+    }
+    if extra:
+        document["extra"] = extra
+    return document
+
+
+def write_fidelity_json(path: str | Path,
+                        scores: dict[str, FidelityScore],
+                        extra: dict | None = None) -> Path:
+    """Write :func:`fidelity_json` as sorted, indented JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(fidelity_json(scores, extra), indent=1,
+                   sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -16,6 +16,12 @@ artifact store (re-invoking skips completed shards)::
     repro-consistency fleet --services googleplus,blogger \\
         --replicates 3 --tests 100 --jobs 4 --out artifacts/
 
+Search a service's profile knobs against the paper's published
+numbers, resumable and parallel like a fleet::
+
+    repro-consistency calibrate --service googleplus --jobs 4 \\
+        --store-out trials/ --calibrate-out fidelity.json
+
 Quantify the Cristian clock-sync protocol's accuracy::
 
     repro-consistency clocksync --seed 7
@@ -208,6 +214,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw merged snapshot as JSON instead of the "
              "rendered report",
     )
+
+    calibrate_cmd = sub.add_parser(
+        "calibrate",
+        help="search service profile knobs against the paper's "
+             "targets",
+        description=(
+            "Run a deterministic parameter search (successive halving "
+            "by default) fitting one service's profile knobs to the "
+            "paper's published numbers (Figures 3/8/9/10, Tables "
+            "I/II).  Candidates are evaluated as fleet campaigns; "
+            "with --store-out, trials persist and a re-invocation "
+            "resumes.  Prints the winning profile and a "
+            "paper-vs-default-vs-calibrated comparison."
+        ),
+    )
+    calibrate_cmd.add_argument(
+        "--service", required=True, choices=SERVICE_NAMES,
+    )
+    calibrate_cmd.add_argument(
+        "--searcher", choices=("halving", "grid"), default="halving",
+        help="search strategy (default: successive halving)",
+    )
+    calibrate_cmd.add_argument(
+        "--tests", type=int, default=6,
+        help="rung-0 budget in tests per test type (halving "
+             "multiplies it by --eta per rung; grid uses it as its "
+             "single fixed budget)",
+    )
+    calibrate_cmd.add_argument("--seed", type=int, default=0)
+    calibrate_cmd.add_argument(
+        "--gap", type=float, default=15.0,
+        help="virtual cool-down between tests (seconds)",
+    )
+    calibrate_cmd.add_argument(
+        "--eta", type=int, default=3,
+        help="halving rate: budget multiplier and survivor divisor",
+    )
+    _add_out_flag(
+        calibrate_cmd, "--store-out", metavar="DIR",
+        help="trial-store directory (enables checkpoint/resume)",
+    )
+    _add_out_flag(
+        calibrate_cmd, "--calibrate-out",
+        help="write the machine-readable fidelity report "
+             "(fidelity.json)",
+    )
+    calibrate_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-rung progress lines",
+    )
+    _add_fleet_args(calibrate_cmd)
 
     sync_cmd = sub.add_parser(
         "clocksync", help="measure the clock-sync protocol's accuracy"
@@ -545,6 +602,68 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.calibrate import (
+        comparison_table,
+        default_objective,
+        run_calibration,
+        write_fidelity_json,
+    )
+
+    base = CampaignConfig(seed=args.seed, inter_test_gap=args.gap)
+    on_message = None if args.quiet else print
+    outcome = run_calibration(
+        args.service, searcher=args.searcher, base_config=base,
+        num_tests=args.tests, eta=args.eta, jobs=args.jobs,
+        store_dir=args.store_out, on_message=on_message,
+    )
+    winner = outcome.winner
+    print(f"\n== Calibration winner for {args.service} "
+          f"({len(outcome.trials)} trials) ==")
+    print(f"trial {winner.trial_id} at {winner.num_tests} tests/type, "
+          f"weighted loss {winner.score.total:.4f}")
+    for path, value in winner.assignment.items():
+        print(f"  {path} = {value}")
+
+    # Baseline (candidate 0 = the checked-in defaults) at the winner's
+    # budget and seed, for an apples-to-apples comparison.
+    baseline = outcome.baseline_trial()
+    if baseline is not None and \
+            baseline.num_tests == winner.num_tests:
+        baseline_score = baseline.score
+    else:
+        result = run_campaign(
+            args.service, replace(base, num_tests=winner.num_tests)
+        )
+        baseline_score = default_objective(args.service).evaluate(
+            result
+        )
+    print()
+    print(comparison_table(baseline_score, winner.score))
+    if args.calibrate_out:
+        write_fidelity_json(
+            args.calibrate_out,
+            {f"{args.service}.default": baseline_score,
+             f"{args.service}.calibrated": winner.score},
+            extra={
+                "service": args.service,
+                "searcher": args.searcher,
+                "seed": args.seed,
+                "winner_trial": winner.trial_id,
+                "num_tests": winner.num_tests,
+                "assignment": dict(sorted(
+                    winner.assignment.items()
+                )),
+            },
+        )
+        print(f"\nfidelity report written to {args.calibrate_out}")
+    if args.store_out:
+        print(f"trials stored in {args.store_out}")
+    return 0
+
+
 def _cmd_clocksync(args: argparse.Namespace) -> int:
     world = MeasurementWorld("blogger", seed=args.seed)
     print("Cristian-style delta estimation vs. simulator ground truth")
@@ -581,6 +700,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "fleet": _cmd_fleet,
         "report": _cmd_report,
+        "calibrate": _cmd_calibrate,
         "obs": _cmd_obs,
         "clocksync": _cmd_clocksync,
         "lint": _cmd_lint,

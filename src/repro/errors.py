@@ -24,6 +24,7 @@ __all__ = [
     "ConfigurationError",
     "AnalysisError",
     "FleetError",
+    "CalibrationError",
 ]
 
 
@@ -117,4 +118,14 @@ class FleetError(ReproError):
     istic, so retrying an in-campaign exception cannot succeed), or an
     artifact store belongs to a different :class:`~repro.fleet.spec.
     FleetSpec` than the one being executed.
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration search or its trial store was misused.
+
+    Raised by :mod:`repro.calibrate` for invalid parameter spaces
+    (unknown dotted paths, empty axes), objectives with no targets to
+    fit, and trial stores bound to a different search than the one
+    being resumed.
     """

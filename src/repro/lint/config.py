@@ -74,6 +74,7 @@ DEFAULT_AGGREGATION_SCOPES = DEFAULT_SIM_SCOPES + (
     "repro.io",
     "repro.stream",
     "repro.obs",
+    "repro.calibrate",
 )
 
 

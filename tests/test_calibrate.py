@@ -1,0 +1,438 @@
+"""Tests for repro.calibrate: targets, spaces, searchers, store, CLI.
+
+The load-bearing guarantees mirror the fleet suite's: a search is a
+pure function of (space, searcher, seed) — same inputs give a
+byte-identical trial store and the same winner whether candidates run
+serially or on four workers — and a damaged store resumes to the
+identical outcome instead of silently recomputing something else.
+"""
+
+import json
+
+import pytest
+
+from repro.calibrate import (
+    CALIBRATED_ASSIGNMENTS,
+    FIDELITY_BUDGETS,
+    Axis,
+    FidelityScore,
+    FleetEvaluator,
+    GridSearch,
+    Objective,
+    SearchSpace,
+    ServiceTargets,
+    SuccessiveHalving,
+    TrialResult,
+    TrialStore,
+    calibrated_params,
+    comparison_table,
+    default_objective,
+    default_space,
+    fidelity_table,
+    make_searcher,
+    paper_targets,
+    run_calibration,
+    target_services,
+    write_fidelity_json,
+)
+from repro.calibrate.store import TRIALS_KIND, TRIALS_SCHEMA_VERSION
+from repro.cli import main as repro_main
+from repro.errors import CalibrationError
+from repro.io import write_digest_jsonl
+from repro.methodology import CampaignConfig, run_campaign
+
+#: Smallest useful real evaluation: one test type, two tests.
+SMALL = CampaignConfig(num_tests=2, seed=0, test_types=("test1",))
+
+
+class TestTargets:
+    def test_every_target_service_has_an_objective(self):
+        for service in target_services():
+            objective = default_objective(service)
+            assert objective.targets.service == service
+
+    def test_unknown_service_is_an_error(self):
+        with pytest.raises(CalibrationError, match="no paper targets"):
+            paper_targets("myspace")
+
+    def test_prevalence_fraction_is_validated(self):
+        with pytest.raises(CalibrationError, match="fraction"):
+            ServiceTargets(service="x", prevalence={"ryw": 1.5})
+
+    def test_pair_keys_must_be_sorted(self):
+        with pytest.raises(CalibrationError, match="not sorted"):
+            ServiceTargets(
+                service="x",
+                pair_content={("oregon", "ireland"): 0.5},
+            )
+
+    def test_googleplus_numbers_match_the_paper(self):
+        targets = paper_targets("googleplus")
+        assert targets.prevalence["content_divergence"] == 0.85
+        assert targets.reads_test1 == 48
+        assert targets.pair_content[("ireland", "oregon")] == 0.85
+        assert targets.pair_content[("oregon", "tokyo")] == 0.15
+
+
+class TestSpace:
+    def test_candidate_zero_is_the_baseline(self):
+        space = default_space("googleplus")
+        defaults = space.assignment(0)
+        base = space.params({})
+        for path, value in defaults.items():
+            outer, _, inner = path.partition(".")
+            node = getattr(base, outer)
+            assert getattr(node, inner) == value
+
+    def test_mixed_radix_decode_first_axis_most_significant(self):
+        space = SearchSpace(service="blogger", axes=(
+            Axis("write_processing_median", (0.17, 0.12)),
+            Axis("read_processing_median", (0.04, 0.06, 0.08)),
+        ))
+        assert space.size == 6
+        assert list(space.assignment(0).values()) == [0.17, 0.04]
+        assert list(space.assignment(2).values()) == [0.17, 0.08]
+        assert list(space.assignment(3).values()) == [0.12, 0.04]
+        assert list(space.assignment(5).values()) == [0.12, 0.08]
+
+    def test_assignment_materializes_nested_params(self):
+        space = default_space("googleplus")
+        params = space.params(
+            {"replication_eu.sync_interval": 0.05}
+        )
+        assert params.replication_eu.sync_interval == 0.05
+        # Untouched knobs keep their defaults.
+        assert params.replication_us.sync_interval == 0.4
+
+    def test_unknown_path_is_an_error(self):
+        with pytest.raises(CalibrationError):
+            SearchSpace(service="blogger", axes=(
+                Axis("no_such_knob", (1, 2)),
+            ))
+
+    def test_index_out_of_range_is_an_error(self):
+        space = default_space("blogger")
+        with pytest.raises(CalibrationError):
+            space.assignment(space.size)
+
+    def test_unknown_service_has_no_default_space(self):
+        with pytest.raises(CalibrationError, match="no default"):
+            default_space("myspace")
+
+
+class TestObjective:
+    @pytest.fixture(scope="class")
+    def blogger_result(self):
+        return run_campaign("blogger", CampaignConfig(
+            num_tests=2, seed=0,
+        ))
+
+    def test_term_order_is_fixed(self, blogger_result):
+        score = default_objective("blogger").evaluate(blogger_result)
+        names = [term.name for term in score.terms]
+        assert names == [
+            "prevalence.read_your_writes",
+            "prevalence.monotonic_writes",
+            "prevalence.monotonic_reads",
+            "prevalence.writes_follow_reads",
+            "prevalence.content_divergence",
+            "prevalence.order_divergence",
+            "reads.test1",
+        ]
+
+    def test_total_is_the_weighted_sum(self, blogger_result):
+        score = default_objective("blogger").evaluate(blogger_result)
+        expected = sum(t.weight * t.loss for t in score.terms)
+        assert score.total == pytest.approx(expected)
+
+    def test_score_roundtrips_through_json(self, blogger_result):
+        score = default_objective("blogger").evaluate(blogger_result)
+        rebuilt = FidelityScore.from_jsonable(
+            json.loads(json.dumps(score.to_jsonable()))
+        )
+        assert rebuilt == score
+
+    def test_service_mismatch_is_an_error(self, blogger_result):
+        objective = default_objective("googleplus")
+        with pytest.raises(CalibrationError, match="cannot score"):
+            objective.evaluate(blogger_result)
+
+    def test_empty_targets_are_rejected(self):
+        with pytest.raises(CalibrationError, match="empty"):
+            Objective(targets=ServiceTargets(service="x"))
+
+    def test_missing_term_lookup_is_an_error(self, blogger_result):
+        score = default_objective("blogger").evaluate(blogger_result)
+        with pytest.raises(CalibrationError, match="no term"):
+            score.term("prevalence.nope")
+
+
+def scripted_evaluator(losses):
+    """Evaluator returning scripted losses: losses[rung][candidate]."""
+    def evaluate(rung, num_tests, candidates):
+        return [
+            TrialResult(
+                trial_id=f"r{rung}/c{index:04d}", candidate=index,
+                rung=rung, num_tests=num_tests, assignment=assignment,
+                score=FidelityScore(service="blogger", terms=(),
+                                    total=losses[rung][index]),
+            )
+            for index, assignment in candidates
+        ]
+    return evaluate
+
+
+class TestSearchers:
+    @pytest.fixture()
+    def space(self):
+        return default_space("blogger")  # 2x2 = 4 candidates
+
+    def test_grid_ties_break_toward_lower_candidate(self, space):
+        outcome = GridSearch(space, num_tests=2).run(
+            scripted_evaluator({0: {0: 1.0, 1: 0.5, 2: 0.5, 3: 0.9}})
+        )
+        assert outcome.winner.candidate == 1
+        assert len(outcome.trials) == space.size
+
+    def test_halving_shields_the_baseline(self, space):
+        # Candidate 0 is worst everywhere, yet rides along into every
+        # rung; the search ends in a head-to-head it then loses.
+        losses = {
+            0: {0: 9.0, 1: 1.0, 2: 2.0, 3: 3.0},
+            1: {0: 9.0, 1: 1.0, 2: 0.5},
+        }
+        searcher = SuccessiveHalving(space, base_tests=2, eta=2)
+        outcome = searcher.run(scripted_evaluator(losses))
+        assert outcome.winner.candidate == 2
+        by_rung = {}
+        for trial in outcome.trials:
+            by_rung.setdefault(trial.rung, []).append(trial.candidate)
+        assert all(0 in candidates
+                   for candidates in by_rung.values())
+        # Rung 1's survivor set ({0, 1, 2}) no longer shrinks, so it
+        # is the final head-to-head; budgets multiply by eta per rung.
+        assert sorted({t.num_tests for t in outcome.trials}) == [2, 4]
+        # The baseline's highest-budget trial sits in the final rung,
+        # so winner-vs-default comparisons are apples to apples.
+        assert outcome.baseline_trial().num_tests == \
+            outcome.winner.num_tests
+
+    def test_halving_confirms_a_winning_baseline(self, space):
+        losses = {
+            0: {0: 0.1, 1: 1.0, 2: 2.0, 3: 3.0},
+            1: {0: 0.1, 1: 1.0},
+            2: {0: 0.1},
+        }
+        outcome = SuccessiveHalving(space, base_tests=2, eta=2).run(
+            scripted_evaluator(losses)
+        )
+        assert outcome.winner.candidate == 0
+
+    def test_make_searcher_rejects_unknown_kind(self, space):
+        with pytest.raises(CalibrationError, match="unknown searcher"):
+            make_searcher("annealing", space, num_tests=2)
+
+    def test_constructor_validation(self, space):
+        with pytest.raises(CalibrationError):
+            SuccessiveHalving(space, base_tests=0)
+        with pytest.raises(CalibrationError):
+            SuccessiveHalving(space, eta=1)
+        with pytest.raises(CalibrationError):
+            GridSearch(space, num_tests=0)
+
+
+class TestTrialStore:
+    PAYLOAD = [{"trial_id": "r0/c0000", "candidate": 0}]
+
+    def test_initialize_creates_layout(self, tmp_path):
+        store = TrialStore(tmp_path / "store")
+        store.initialize("k1")
+        assert store.manifest_path.is_file()
+        assert store.trials_dir.is_dir()
+        assert store.search_key == "k1"
+        assert store.completed_batches() == []
+
+    def test_batch_roundtrip_through_fresh_handle(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.initialize("k1")
+        store.write_batch("r0", 0, 2, self.PAYLOAD)
+        reopened = TrialStore(tmp_path)
+        assert reopened.batch_state("r0") == "complete"
+        assert reopened.completed_batches() == ["r0"]
+        assert reopened.load_batch("r0") == self.PAYLOAD
+
+    def test_initialize_rejects_foreign_search(self, tmp_path):
+        TrialStore(tmp_path).initialize("k1")
+        with pytest.raises(CalibrationError, match="belongs to"):
+            TrialStore(tmp_path).initialize("k2")
+
+    def test_tampered_batch_is_corrupt(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.initialize("k1")
+        store.write_batch("r0", 0, 2, self.PAYLOAD)
+        path = store.batch_path("r0")
+        path.write_bytes(path.read_bytes().replace(b"c0000", b"c9999"))
+        assert store.batch_state("r0") == "corrupt"
+        assert store.completed_batches() == []
+        with pytest.raises(CalibrationError, match="corrupt"):
+            store.load_batch("r0")
+
+    def test_rewritten_but_uncommitted_batch_is_corrupt(self, tmp_path):
+        # A batch file regenerated without a manifest commit (e.g. a
+        # kill between the two steps) must not count as complete, even
+        # though its own embedded digest is internally valid.
+        store = TrialStore(tmp_path)
+        store.initialize("k1")
+        store.write_batch("r0", 0, 2, self.PAYLOAD)
+        write_digest_jsonl(store.batch_path("r0"),
+                           [{"trial_id": "r0/c0001", "candidate": 1}],
+                           kind=TRIALS_KIND,
+                           schema_version=TRIALS_SCHEMA_VERSION)
+        assert store.batch_state("r0") == "corrupt"
+
+    def test_deleted_batch_is_missing(self, tmp_path):
+        store = TrialStore(tmp_path)
+        store.initialize("k1")
+        store.write_batch("r0", 0, 2, self.PAYLOAD)
+        store.batch_path("r0").unlink()
+        assert store.batch_state("r0") == "missing"
+
+    def test_unknown_version_is_an_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps(
+            {"store_version": 99, "search_key": "k", "batches": {}}
+        ))
+        with pytest.raises(CalibrationError, match="version"):
+            TrialStore(tmp_path).manifest
+
+    def test_unreadable_manifest_is_an_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(CalibrationError, match="unreadable"):
+            TrialStore(tmp_path).manifest
+
+
+def run_blogger_grid(store_dir, jobs=1, on_message=None):
+    return run_calibration(
+        "blogger", searcher="grid", num_tests=2, jobs=jobs,
+        base_config=SMALL, store_dir=store_dir,
+        on_message=on_message,
+    )
+
+
+class TestSearchDeterminism:
+    def test_serial_and_parallel_stores_are_byte_identical(
+            self, tmp_path):
+        serial = run_blogger_grid(tmp_path / "serial", jobs=1)
+        parallel = run_blogger_grid(tmp_path / "parallel", jobs=4)
+        assert serial.winner == parallel.winner
+        assert serial.trials == parallel.trials
+        serial_bytes = (tmp_path / "serial" / "trials"
+                        / "r0.jsonl").read_bytes()
+        parallel_bytes = (tmp_path / "parallel" / "trials"
+                          / "r0.jsonl").read_bytes()
+        assert serial_bytes == parallel_bytes
+
+    def test_rerun_resumes_from_the_store(self, tmp_path):
+        first = run_blogger_grid(tmp_path)
+        messages = []
+        second = run_blogger_grid(tmp_path, on_message=messages.append)
+        assert second.winner == first.winner
+        assert second.trials == first.trials
+        assert any("[resumed from store]" in m for m in messages)
+
+    def test_resume_after_damage_restores_identical_bytes(
+            self, tmp_path):
+        first = run_blogger_grid(tmp_path)
+        batch = tmp_path / "trials" / "r0.jsonl"
+        pristine = batch.read_bytes()
+        # Kill mid-write: truncate the batch file.  The rung's fleet
+        # store is still digest-valid, so the re-run rebuilds the
+        # batch from completed shards instead of re-simulating.
+        batch.write_bytes(pristine[:-7])
+        assert TrialStore(tmp_path).batch_state("r0") == "corrupt"
+        second = run_blogger_grid(tmp_path)
+        assert second.winner == first.winner
+        assert second.trials == first.trials
+        assert batch.read_bytes() == pristine
+
+    def test_store_is_bound_to_the_exact_search(self, tmp_path):
+        run_blogger_grid(tmp_path)
+        with pytest.raises(CalibrationError, match="belongs to"):
+            run_calibration("blogger", searcher="grid", num_tests=3,
+                            base_config=SMALL, store_dir=tmp_path)
+
+    def test_cached_batch_must_match_the_request(self, tmp_path):
+        run_blogger_grid(tmp_path)
+        space = default_space("blogger")
+        evaluator = FleetEvaluator(
+            space=space, objective=default_objective("blogger"),
+            base_config=SMALL, store=TrialStore(tmp_path),
+        )
+        with pytest.raises(CalibrationError, match="does not match"):
+            evaluator(0, 2, [(1, space.assignment(1))])
+
+    def test_evaluator_rejects_conflicting_config(self):
+        space = default_space("blogger")
+        with pytest.raises(CalibrationError, match="service_params"):
+            FleetEvaluator(
+                space=space,
+                objective=default_objective("blogger"),
+                base_config=CampaignConfig(
+                    service_params=space.params({}),
+                ),
+            )
+
+
+class TestWinnersAndReport:
+    def test_calibrated_params_apply_the_assignment(self):
+        params = calibrated_params("googleplus")
+        assignment = CALIBRATED_ASSIGNMENTS["googleplus"]
+        assert params.replication_eu.sync_interval == \
+            assignment["replication_eu.sync_interval"]
+        assert params.replication_us.sync_delay_median == \
+            assignment["replication_us.sync_delay_median"]
+
+    def test_every_service_has_winner_and_budget(self):
+        assert set(CALIBRATED_ASSIGNMENTS) == set(target_services())
+        assert set(FIDELITY_BUDGETS) == set(target_services())
+
+    def test_unknown_service_has_no_profile(self):
+        with pytest.raises(CalibrationError, match="no calibrated"):
+            calibrated_params("myspace")
+
+    def test_tables_and_json_roundtrip(self, tmp_path):
+        result = run_campaign("blogger", SMALL)
+        score = default_objective("blogger").evaluate(result)
+        table = fidelity_table(score)
+        assert "reads.test1" in table
+        assert f"{score.total:.4f}" in table
+        comparison = comparison_table(score, score)
+        assert "default" in comparison and "calibrated" in comparison
+        path = write_fidelity_json(tmp_path / "fidelity.json",
+                                   {"blogger": score},
+                                   extra={"seed": 0})
+        document = json.loads(path.read_text())
+        assert document["extra"] == {"seed": 0}
+        rebuilt = FidelityScore.from_jsonable(
+            document["scores"]["blogger"]
+        )
+        assert rebuilt == score
+
+
+class TestCli:
+    def test_calibrate_subcommand_end_to_end(self, tmp_path, capsys):
+        store_dir = tmp_path / "trials"
+        fidelity = tmp_path / "fidelity.json"
+        code = repro_main([
+            "calibrate", "--service", "blogger",
+            "--searcher", "grid", "--tests", "2",
+            "--store-out", str(store_dir),
+            "--calibrate-out", str(fidelity),
+            "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Calibration winner for blogger" in out
+        assert (store_dir / "trials" / "r0.jsonl").is_file()
+        document = json.loads(fidelity.read_text())
+        assert document["extra"]["service"] == "blogger"
+        assert "blogger.calibrated" in document["scores"]

@@ -721,6 +721,23 @@ class TestSelfApplication:
             f"{f.location()}: {f.code} {f.message}"
             for f in result.findings)
 
+    def test_calibrate_package_is_in_scope_and_clean(self):
+        # repro.calibrate aggregates fidelity losses across candidate
+        # fleets, so it must sit in the DET004 aggregation scope (both
+        # the built-in default and the checked-in pyproject config)
+        # and lint clean under the repository configuration.
+        from repro.lint.config import DEFAULT_AGGREGATION_SCOPES
+
+        assert "repro.calibrate" in DEFAULT_AGGREGATION_SCOPES
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert "repro.calibrate" in config.aggregation_scopes
+        calibrate_dir = SRC / "repro" / "calibrate"
+        result = LintEngine(config).lint_paths([calibrate_dir])
+        assert result.files_checked >= 8
+        assert result.ok, "\n".join(
+            f"{f.location()}: {f.code} {f.message}"
+            for f in result.findings)
+
     def test_injected_random_call_is_caught_at_line(self, tmp_path):
         # Mirror of the acceptance criterion: drop a random.random()
         # call into a copy of repro/replication/eventual.py and expect

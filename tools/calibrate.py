@@ -1,105 +1,59 @@
 """Calibration report: measured anomaly signatures vs. the paper's.
 
-Run during development to tune service parameters:
+Run during development to eyeball a service's fit:
 
     python tools/calibrate.py [num_tests] [seed] [service ...]
 
-Prints, per service, the per-test-type prevalence of each anomaly next
-to the paper's Figure 3 values, per-pair divergence rates (Figure 8),
-window medians (Figures 9/10), and Table I/II read counts.
+Thin shim over :mod:`repro.calibrate`: the paper's numbers live in
+``repro.calibrate.targets`` (the single source of truth, also used by
+the search and the CI fidelity gate), the scoring in
+``repro.calibrate.objective``, and the rendering in
+``repro.calibrate.report``.  Each service prints the measured-vs-paper
+term table for the *default* profile and, when a calibrated winner is
+checked in, a default-vs-calibrated comparison.
+
+For the actual parameter search, use::
+
+    repro-consistency calibrate --service googleplus
+
+which persists trials and reports the winning profile.
 """
 
 import sys
-import time
 
-from repro.core.anomalies import (
-    ALL_ANOMALIES,
-    CONTENT_DIVERGENCE,
-    ORDER_DIVERGENCE,
+from repro.calibrate import (
+    CALIBRATED_ASSIGNMENTS,
+    calibrated_params,
+    comparison_table,
+    default_objective,
+    fidelity_table,
+    target_services,
 )
 from repro.methodology import CampaignConfig, run_campaign
-
-PAPER = {
-    "googleplus": {
-        "read_your_writes": 0.22, "monotonic_writes": 0.06,
-        "monotonic_reads": 0.25, "writes_follow_reads": 0.10,
-        "content_divergence": 0.85, "order_divergence": 0.14,
-        "reads_test1": 48,
-    },
-    "blogger": {a: 0.0 for a in ALL_ANOMALIES} | {"reads_test1": 11},
-    "facebook_feed": {
-        "read_your_writes": 0.99, "monotonic_writes": 0.89,
-        "monotonic_reads": 0.46, "writes_follow_reads": 0.50,
-        "content_divergence": 0.60, "order_divergence": 1.00,
-        "reads_test1": 14,
-    },
-    "facebook_group": {
-        "read_your_writes": 0.00, "monotonic_writes": 0.93,
-        "monotonic_reads": 0.001, "writes_follow_reads": 0.002,
-        "content_divergence": 0.013, "order_divergence": 0.0,
-        "reads_test1": 11,
-    },
-}
-
-SESSION_TYPE = "test1"
-DIVERGENCE_TYPE = "test2"
 
 
 def main():
     args = sys.argv[1:]
     num_tests = int(args[0]) if args else 40
     seed = int(args[1]) if len(args) > 1 else 7
-    services = args[2:] or list(PAPER)
+    services = args[2:] or list(target_services())
     for service in services:
-        t0 = time.time()
-        result = run_campaign(service, CampaignConfig(
-            num_tests=num_tests, seed=seed,
+        objective = default_objective(service)
+        default_score = objective.evaluate(run_campaign(
+            service, CampaignConfig(num_tests=num_tests, seed=seed)
         ))
-        elapsed = time.time() - t0
         print(f"\n=== {service} ({num_tests} tests/type, "
-              f"{elapsed:.1f}s wall) ===")
-        paper = PAPER[service]
-        for anomaly in ALL_ANOMALIES:
-            test_type = (DIVERGENCE_TYPE if "divergence" in anomaly
-                         else SESSION_TYPE)
-            measured = result.prevalence(anomaly, test_type)
-            print(f"  {anomaly:22s} measured={measured:6.2%}  "
-                  f"paper={paper[anomaly]:6.2%}   [{test_type}]")
-        t1 = result.of_type("test1")
-        reads = (sum(sum(r.reads_per_agent.values()) for r in t1)
-                 / (len(t1) * 3))
-        print(f"  reads/agent/test1      measured={reads:6.1f}  "
-              f"paper={paper['reads_test1']:6d}")
-        pair_rates = {}
-        t2 = result.of_type("test2")
-        for record in t2:
-            for pair in record.report.diverged_pairs(CONTENT_DIVERGENCE):
-                pair_rates[pair] = pair_rates.get(pair, 0) + 1
-        print("  content divergence by pair:",
-              {f"{a[:2]}-{b[:2]}": f"{n / len(t2):.0%}"
-               for (a, b), n in sorted(pair_rates.items())})
-        order_rates = {}
-        for record in t2:
-            for pair in record.report.diverged_pairs(ORDER_DIVERGENCE):
-                order_rates[pair] = order_rates.get(pair, 0) + 1
-        print("  order divergence by pair:  ",
-              {f"{a[:2]}-{b[:2]}": f"{n / len(t2):.0%}"
-               for (a, b), n in sorted(order_rates.items())})
-        # Window medians per pair (largest window per test).
-        for label, attr in (("content", "content_windows"),
-                            ("order", "order_windows")):
-            medians = {}
-            for record in t2:
-                for pair, window in getattr(record, attr).items():
-                    if window.largest is not None and window.converged:
-                        medians.setdefault(pair, []).append(
-                            window.largest)
-            shown = {
-                f"{a[:2]}-{b[:2]}":
-                f"{sorted(vals)[len(vals) // 2]:.2f}s(n={len(vals)})"
-                for (a, b), vals in sorted(medians.items())
-            }
-            print(f"  {label} window medians:", shown)
+              f"seed {seed}) ===")
+        if not CALIBRATED_ASSIGNMENTS[service]:
+            print(fidelity_table(default_score))
+            continue
+        calibrated_score = objective.evaluate(run_campaign(
+            service, CampaignConfig(
+                num_tests=num_tests, seed=seed,
+                service_params=calibrated_params(service),
+            )
+        ))
+        print(comparison_table(default_score, calibrated_score))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,101 @@
+"""CI gate: checked-in calibrated profiles must stay within budget.
+
+For every service with paper targets this runs one fixed-seed
+evaluation campaign per profile and asserts two things:
+
+1. **Budget** — the weighted fidelity loss of the checked-in
+   calibrated profile (``repro.calibrate.winners``) stays within its
+   ``FIDELITY_BUDGETS`` ceiling.  A model or analysis change that
+   drifts a service away from the paper's numbers fails CI instead of
+   silently degrading the reproduction.
+2. **Improvement** — for every service whose calibrated assignment is
+   non-empty, the calibrated profile scores strictly better than the
+   default profile under the same evaluation.  A winner that stops
+   winning (because the model underneath it changed) must be
+   re-calibrated, not kept on faith.
+
+    python tools/fidelity_check.py [num_tests] [seed] [fidelity.json]
+
+The budgets in ``winners.py`` are tied to the *default* arguments;
+override them only for local experiments.  Exit code 0 when every
+service passes, 1 with a diagnostic otherwise.
+"""
+
+import sys
+
+from repro.calibrate import (
+    CALIBRATED_ASSIGNMENTS,
+    FIDELITY_BUDGETS,
+    calibrated_params,
+    default_objective,
+    fidelity_table,
+    target_services,
+    write_fidelity_json,
+)
+from repro.methodology import CampaignConfig, run_campaign
+
+DEFAULT_TESTS = 40
+DEFAULT_SEED = 7
+
+
+def evaluate(service, params, num_tests, seed):
+    config = CampaignConfig(num_tests=num_tests, seed=seed,
+                            service_params=params)
+    return default_objective(service).evaluate(
+        run_campaign(service, config)
+    )
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else DEFAULT_TESTS
+    seed = int(args[1]) if len(args) > 1 else DEFAULT_SEED
+    json_out = args[2] if len(args) > 2 else None
+
+    failures = []
+    scores = {}
+    for service in target_services():
+        budget = FIDELITY_BUDGETS[service]
+        calibrated = evaluate(service, calibrated_params(service),
+                              num_tests, seed)
+        scores[service] = calibrated
+        line = (f"{service}: calibrated loss {calibrated.total:.4f} "
+                f"(budget {budget:.2f})")
+        if calibrated.total > budget:
+            failures.append(
+                f"{service}: calibrated loss {calibrated.total:.4f} "
+                f"exceeds budget {budget:.2f}"
+            )
+            print(fidelity_table(calibrated))
+        if CALIBRATED_ASSIGNMENTS[service]:
+            default = evaluate(service, None, num_tests, seed)
+            scores[f"{service}.default"] = default
+            line += f", default loss {default.total:.4f}"
+            if calibrated.total >= default.total:
+                failures.append(
+                    f"{service}: calibrated loss "
+                    f"{calibrated.total:.4f} is not better than the "
+                    f"default profile's {default.total:.4f}; "
+                    "re-calibrate the winner"
+                )
+        print(line)
+
+    if json_out:
+        write_fidelity_json(json_out, scores,
+                            extra={"num_tests": num_tests,
+                                   "seed": seed})
+        print(f"fidelity report written to {json_out}")
+
+    if failures:
+        print("fidelity check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"fidelity check passed: {len(target_services())} services "
+          f"within budget at {num_tests} tests/type, seed {seed}; "
+          "every non-empty winner beats its default profile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
