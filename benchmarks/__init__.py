@@ -1,0 +1,7 @@
+"""Benchmark package: perf trajectories for the reproduction.
+
+Not part of the tier-1 suite (``testpaths = ["tests"]``); run with
+``pytest benchmarks`` to produce the ``BENCH_*.json`` trajectories.
+"""
+
+__all__: list[str] = []

@@ -20,7 +20,8 @@ from benchmarks.conftest import BENCH_SEED, bench_num_tests
 WORKERS = 2
 
 
-def test_two_worker_fleet_matches_serial_wall_clock(benchmark):
+def test_two_worker_fleet_matches_serial_wall_clock(
+        benchmark, bench_json_writer):
     num_tests = max(bench_num_tests() // 4, 5)
     spec = FleetSpec(
         services=("blogger", "googleplus"),
@@ -48,6 +49,17 @@ def test_two_worker_fleet_matches_serial_wall_clock(benchmark):
     print(f"  parallel (jobs={WORKERS})     {parallel_s:7.2f}s  "
           f"({ratio:.2f}x serial)")
     print(f"  signature             {serial.signature()[:16]}")
+
+    path = bench_json_writer("fleet_scaling", {
+        "shards": spec.total_shards,
+        "num_tests": num_tests,
+        "workers": WORKERS,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "parallel_over_serial": ratio,
+        "signature": serial.signature(),
+    })
+    print(f"  written to {path}")
 
     # The hard contract: identical merged output, bit for bit.
     assert parallel.signature() == serial.signature()

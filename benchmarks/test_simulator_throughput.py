@@ -4,13 +4,26 @@ Not a paper figure — a contributor-facing benchmark establishing the
 simulator's cost model: raw event throughput, process context-switch
 cost, and the wall-clock price of one complete Test 1 instance (the
 unit everything else scales by).  Regressions here multiply directly
-into campaign times.
+into campaign times.  The family's rates land in
+``BENCH_simulator_throughput.json`` so CI can track the trajectory.
 """
+
+import time
+
+import pytest
 
 from repro.methodology import PAPER_PLANS, MeasurementWorld, run_test1
 from repro.sim import Simulator, spawn
 
 from benchmarks.conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def sim_rates(bench_json_writer):
+    """Collect each test's rate; write one JSON when the module ends."""
+    rates: dict[str, float] = {}
+    yield rates
+    bench_json_writer("simulator_throughput", rates)
 
 
 def drain_events(count=20_000):
@@ -27,8 +40,11 @@ def drain_events(count=20_000):
     return sim.events_processed
 
 
-def test_event_loop_throughput(benchmark):
-    processed = benchmark(drain_events)
+def test_event_loop_throughput(benchmark, sim_rates):
+    t0 = time.perf_counter()
+    processed = benchmark.pedantic(drain_events, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    sim_rates["events_per_second"] = processed / elapsed
     assert processed == 20_000
 
 
@@ -44,8 +60,12 @@ def ping_pong_processes(rounds=2_000):
     return process
 
 
-def test_process_switch_throughput(benchmark):
-    process = benchmark(ping_pong_processes)
+def test_process_switch_throughput(benchmark, sim_rates):
+    t0 = time.perf_counter()
+    process = benchmark.pedantic(ping_pong_processes,
+                                 rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    sim_rates["process_switches_per_second"] = 2_000 / elapsed
     assert not process.alive
 
 
@@ -58,6 +78,10 @@ def one_test1_instance():
     return process.completion.value
 
 
-def test_full_test1_instance_cost(benchmark):
-    trace = benchmark(one_test1_instance)
+def test_full_test1_instance_cost(benchmark, sim_rates):
+    t0 = time.perf_counter()
+    trace = benchmark.pedantic(one_test1_instance,
+                               rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    sim_rates["test1_instance_seconds"] = elapsed
     assert len(trace.writes()) == 6

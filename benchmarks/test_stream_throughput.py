@@ -36,7 +36,7 @@ def kept_traces():
     return [record.trace for record in result.records]
 
 
-def test_streaming_vs_batch_throughput(benchmark):
+def test_streaming_vs_batch_throughput(benchmark, bench_json_writer):
     traces = kept_traces()
     total_ops = sum(len(t.operations) for t in traces)
 
@@ -64,6 +64,15 @@ def test_streaming_vs_batch_throughput(benchmark):
     print(f"  batch analyze_trace   {batch_rate:10.0f} ops/s")
     print(f"  streaming engine      {stream_rate:10.0f} ops/s  "
           f"({batch_s / stream_s:.2f}x batch)")
+
+    path = bench_json_writer("stream_throughput", {
+        "traces": len(traces),
+        "operations": total_ops,
+        "batch_ops_per_second": batch_rate,
+        "stream_ops_per_second": stream_rate,
+        "stream_over_batch": stream_s / batch_s,
+    })
+    print(f"  written to {path}")
 
     assert engine.tests_closed == len(traces)
     assert engine.operations_seen == total_ops

@@ -19,6 +19,8 @@ from repro.clocksync import estimate_clock_delta
 from repro.methodology import MeasurementWorld
 from repro.sim import spawn
 
+__all__ = ["estimate_all", "main"]
+
 
 def estimate_all(world, samples=8):
     estimates = {}

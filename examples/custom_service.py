@@ -31,6 +31,8 @@ from repro.webapi import (
     SlidingWindowRateLimiter,
 )
 
+__all__ = ["StickyCacheService", "main"]
+
 POSTS_PATH = "/sticky/posts"
 
 

@@ -13,6 +13,8 @@ from repro.analysis import prevalence_rows, render_timeline
 from repro.core import ALL_ANOMALIES
 from repro.methodology import CampaignConfig, run_campaign
 
+__all__ = ["main"]
+
 
 def main() -> None:
     print("Running 20 instances of each test against the Google+ "

@@ -16,6 +16,8 @@ from repro.analysis import full_report
 from repro.methodology import CampaignConfig, run_campaign
 from repro.services import SERVICE_NAMES
 
+__all__ = ["main"]
+
 
 def main() -> None:
     num_tests = int(sys.argv[1]) if len(sys.argv) > 1 else 40

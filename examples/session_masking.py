@@ -19,6 +19,8 @@ Run:  python examples/session_masking.py
 from repro.core import ALL_ANOMALIES, SESSION_ANOMALIES
 from repro.methodology import CampaignConfig, run_campaign
 
+__all__ = ["main"]
+
 
 def main() -> None:
     service = "facebook_feed"

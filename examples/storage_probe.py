@@ -14,6 +14,8 @@ from repro.methodology import CampaignConfig, run_campaign
 from repro.replication import QuorumParams
 from repro.services import QuorumKvParams
 
+__all__ = ["measure", "main"]
+
 CONFIGS = ((1, 1), (2, 2), (3, 1), (1, 3))
 
 

@@ -8,6 +8,11 @@ and the anomaly checkers are pure observers.  One stray
 in-place trace mutation silently invalidates a whole campaign without
 failing a single test.  This package machine-enforces that contract.
 
+The per-file battery checks each module in isolation; the
+whole-program pass (``--project``) additionally links every module
+into an import/call graph and proves the cross-module half of the
+serial==parallel contract.
+
 Shipped rules (see ``docs/lint.md`` or ``--list-rules`` for detail):
 
 ========  =========  ====================================================
@@ -18,7 +23,18 @@ DET001    error      direct use of the ``random`` module outside
 DET002    error      wall-clock/entropy calls inside simulation scopes
 DET003    error      iteration over unordered set expressions in
                      simulation scopes
+DET004    error      float reductions over unordered or shard-keyed
+                     collections in aggregation scopes
+DET005    error      module-level mutable state written from code
+                     reachable from campaign/fleet entry points
+                     (``--project``)
+DET006    error      materializing hash order out of unordered
+                     collections in aggregation scopes (``--project``)
+PAR001    error      lambdas/closures crossing the process boundary
+                     (``--project``)
 TRACE001  error      anomaly checkers mutating their input traces
+TRACE002  error      mutating a record after emitting it to an
+                     observer or pipe (``--project``)
 API001    warning    public modules without an explicit ``__all__``
 ========  =========  ====================================================
 
@@ -42,7 +58,20 @@ from repro.lint.engine import (
     module_name,
 )
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import Rule, all_rules, get_rule, rule_codes
+from repro.lint.graph import ProjectModel, build_project_model
+from repro.lint.rules import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    project_rules,
+    rule_codes,
+)
+from repro.lint.summaries import (
+    FunctionSummary,
+    ModuleSummary,
+    summarize_module,
+)
 
 __all__ = [
     "LintConfig",
@@ -55,7 +84,14 @@ __all__ = [
     "Finding",
     "Severity",
     "Rule",
+    "ProjectRule",
     "all_rules",
+    "project_rules",
     "get_rule",
     "rule_codes",
+    "ProjectModel",
+    "build_project_model",
+    "ModuleSummary",
+    "FunctionSummary",
+    "summarize_module",
 ]

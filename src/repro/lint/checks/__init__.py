@@ -7,6 +7,8 @@ Rule modules are grouped by concern:
 * :mod:`repro.lint.checks.trace_safety` — TRACE001, purity of anomaly
   checkers.
 * :mod:`repro.lint.checks.api` — API001, explicit public surfaces.
+* :mod:`repro.lint.checks.parity` — DET005/DET006/PAR001/TRACE002,
+  the cross-module serial==parallel rules (``--project`` only).
 
 Adding a rule means adding a :class:`~repro.lint.rules.Rule` subclass
 decorated with :func:`~repro.lint.rules.register_rule` in one of these
@@ -14,6 +16,6 @@ modules (or a new module imported here) — the engine, CLI, docs
 listing, and JSON schema pick it up automatically.
 """
 
-from repro.lint.checks import api, determinism, trace_safety
+from repro.lint.checks import api, determinism, parity, trace_safety
 
-__all__ = ["determinism", "trace_safety", "api"]
+__all__ = ["determinism", "trace_safety", "api", "parity"]

@@ -40,7 +40,9 @@ class ExplicitAllRule(Rule):
     exempt, with two nuances: ``__init__.py`` *is* a package's public
     face and therefore required to declare ``__all__``, while
     ``__main__.py`` is an entry-point script with no importable
-    surface and exempt.
+    surface and exempt.  Pytest modules (``test_*.py``,
+    ``conftest.py``) are exempt too: they are collected by filename,
+    never imported for their surface.
     """
 
     code = "API001"
@@ -59,6 +61,8 @@ class ExplicitAllRule(Rule):
         if stem == "__main__":
             return
         if stem.startswith("_") and stem != "__init__":
+            return
+        if stem.startswith("test_") or stem == "conftest":
             return
         if not _declares_all(module.tree):
             yield Finding(

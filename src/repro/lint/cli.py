@@ -69,6 +69,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="also print findings suppressed by waiver comments",
     )
     parser.add_argument(
+        "--project", action="store_true",
+        help="run the whole-program pass: link per-module summaries "
+             "into an import/call graph and apply the cross-module "
+             "rules (DET005, DET006, PAR001, TRACE002)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE", dest="cache",
+        help="content-hash cache file: unchanged files are not "
+             "re-parsed between runs (safe to commit to CI caches)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in FILE (written by "
+             "--write-waivers); suppressed findings count as waived",
+    )
+    parser.add_argument(
+        "--write-waivers", default=None, metavar="FILE",
+        dest="write_waivers",
+        help="write a baseline of today's unwaived findings to FILE "
+             "and exit 0 — lets a new strict rule land without "
+             "blocking un-cleaned trees",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="describe every registered rule and exit",
     )
@@ -130,8 +153,25 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 0
     try:
         config = _resolve_config(args)
-        result = LintEngine(config).lint_paths(args.paths)
-    except (FileNotFoundError, UnknownRuleError) as exc:
+        engine = LintEngine(config)
+        if args.write_waivers is not None:
+            count = engine.write_waivers(
+                args.paths, args.write_waivers,
+                project=args.project,
+            )
+            _safe_print(
+                f"wrote {count} waiver entr"
+                f"{'y' if count == 1 else 'ies'} to "
+                f"{args.write_waivers}"
+            )
+            return 0
+        result = engine.lint_paths(
+            args.paths,
+            project=args.project,
+            cache_path=args.cache,
+            baseline_path=args.baseline,
+        )
+    except (FileNotFoundError, UnknownRuleError, ValueError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":

@@ -13,6 +13,9 @@ determinism contract:
     sim-scopes = ["repro.sim", "repro.services", "repro.replication",
                   "repro.methodology"]
     trace-scopes = ["repro.core.anomalies"]
+    entry-points = ["repro.methodology.runner.run_campaign"]
+    scope-exempt = ["repro.fleet"]       # inferred-but-excluded, with
+                                         # a justification comment
     exclude = ["**/_generated_*.py"]     # glob on posix paths
 
 Parsing uses :mod:`tomllib` where available (Python ≥ 3.11).  On 3.10
@@ -42,11 +45,17 @@ __all__ = [
     "DEFAULT_TRACE_SCOPES",
     "DEFAULT_RANDOM_ALLOWLIST",
     "DEFAULT_AGGREGATION_SCOPES",
+    "DEFAULT_ENTRY_POINTS",
+    "DEFAULT_PIPE_BOUNDARIES",
+    "DEFAULT_EMIT_METHODS",
+    "DEFAULT_SCOPE_EXEMPT",
 ]
 
 #: Packages whose behaviour feeds simulated scheduling and trace order;
 #: DET002 (wall clock/entropy) and DET003 (unordered iteration) apply
-#: here.
+#: here.  Since the whole-program pass landed this list tracks the
+#: *inferred* scope (the import closure of the entry points below);
+#: the scope audit warns when the two drift apart.
 DEFAULT_SIM_SCOPES = (
     "repro.sim",
     "repro.services",
@@ -54,6 +63,14 @@ DEFAULT_SIM_SCOPES = (
     "repro.methodology",
     "repro.net",
     "repro.agents",
+    "repro.clocksync",
+    "repro.core",
+    "repro.errors",
+    "repro.io",
+    "repro.obs",
+    "repro.stream",
+    "repro.masking",
+    "repro.analysis",
 )
 
 #: Packages holding anomaly checkers; TRACE001 (no trace mutation)
@@ -70,11 +87,53 @@ DEFAULT_RANDOM_ALLOWLIST = ("repro.sim.random_source",)
 #: aggregate results without being simulation code themselves.
 DEFAULT_AGGREGATION_SCOPES = DEFAULT_SIM_SCOPES + (
     "repro.fleet",
-    "repro.analysis",
-    "repro.io",
-    "repro.stream",
-    "repro.obs",
     "repro.calibrate",
+)
+
+#: Functions whose transitive callees constitute "the computation a
+#: campaign result depends on": the serial campaign runner and the
+#: fleet worker/driver.  The whole-program pass starts reachability
+#: (DET005, TRACE002) and scope inference here.
+DEFAULT_ENTRY_POINTS = (
+    "repro.methodology.runner.run_campaign",
+    "repro.fleet.executor.run_fleet",
+    "repro.fleet.executor.execute_shard",
+)
+
+#: Dotted call targets treated as process-boundary crossings: every
+#: argument passed into them must be picklable by construction
+#: (PAR001).  Matched by prefix against alias-resolved call chains;
+#: ``Pool``-style method names are recognised structurally on top.  A
+#: ``target:arg,arg`` suffix restricts the check to the named keyword
+#: arguments (``run_fleet`` keeps ``on_event`` host-side — only the
+#: shard runner is shipped to workers).
+DEFAULT_PIPE_BOUNDARIES = (
+    "multiprocessing.Process",
+    "multiprocessing.get_context",
+    "concurrent.futures.ProcessPoolExecutor",
+    "repro.fleet.run_fleet:shard_runner",
+    "repro.fleet.executor.run_fleet:shard_runner",
+)
+
+#: Method names through which a trace/operation record is *emitted* to
+#: observers or across a pipe; TRACE002 forbids mutating a record after
+#: passing it to one of these.
+DEFAULT_EMIT_METHODS = (
+    "operation",
+    "test_opened",
+    "test_closed",
+    "send",
+)
+
+#: Modules that the import graph proves reachable from the entry
+#: points but that are *consciously* excluded from the sim scopes.
+#: ``repro.fleet`` is the host-side executor shell: it schedules OS
+#: processes with real wall-clock timeouts and never computes a
+#: simulated quantity — its determinism obligations are the ordered
+#: merge (aggregation scope) and pickle safety (PAR001), not virtual
+#: time.
+DEFAULT_SCOPE_EXEMPT = (
+    "repro.fleet",
 )
 
 
@@ -97,6 +156,14 @@ class LintConfig:
     trace_scopes: tuple[str, ...] = DEFAULT_TRACE_SCOPES
     random_allowlist: tuple[str, ...] = DEFAULT_RANDOM_ALLOWLIST
     aggregation_scopes: tuple[str, ...] = DEFAULT_AGGREGATION_SCOPES
+    #: Whole-program reachability roots (``module.function`` dotted).
+    entry_points: tuple[str, ...] = DEFAULT_ENTRY_POINTS
+    #: Call targets that cross a process boundary (PAR001).
+    pipe_boundaries: tuple[str, ...] = DEFAULT_PIPE_BOUNDARIES
+    #: Methods that emit a record to observers/pipes (TRACE002).
+    emit_methods: tuple[str, ...] = DEFAULT_EMIT_METHODS
+    #: Modules consciously excluded from the inferred sim scope.
+    scope_exempt: tuple[str, ...] = DEFAULT_SCOPE_EXEMPT
     #: ``fnmatch`` globs (posix paths) of files to skip entirely.
     exclude: tuple[str, ...] = ()
     #: Where the configuration was read from, for diagnostics.
@@ -118,6 +185,28 @@ class LintConfig:
 
     def random_allowed(self, module: str) -> bool:
         return _in_scope(module, self.random_allowlist)
+
+    def in_scope_exempt(self, module: str) -> bool:
+        return _in_scope(module, self.scope_exempt)
+
+    def pipe_boundary(self, resolved: str) -> tuple[str, ...] | None:
+        """Boundary spec for an alias-resolved call chain.
+
+        Returns ``None`` when the call is not a boundary, ``()`` when
+        every argument crosses the pipe, or the names of the keyword
+        arguments that do (``target:arg,arg`` entries).
+        """
+        for boundary in self.pipe_boundaries:
+            target, _, restriction = boundary.partition(":")
+            if resolved == target or resolved.startswith(target + "."):
+                if restriction:
+                    return tuple(
+                        name.strip()
+                        for name in restriction.split(",")
+                        if name.strip()
+                    )
+                return ()
+        return None
 
     def with_overrides(self, select: tuple[str, ...] = (),
                        ignore: tuple[str, ...] = ()) -> "LintConfig":
@@ -177,6 +266,12 @@ def config_from_table(table: dict, source: str = "<table>") -> LintConfig:
         aggregation_scopes=strings(
             "aggregation-scopes", DEFAULT_AGGREGATION_SCOPES
         ),
+        entry_points=strings("entry-points", DEFAULT_ENTRY_POINTS),
+        pipe_boundaries=strings(
+            "pipe-boundaries", DEFAULT_PIPE_BOUNDARIES
+        ),
+        emit_methods=strings("emit-methods", DEFAULT_EMIT_METHODS),
+        scope_exempt=strings("scope-exempt", DEFAULT_SCOPE_EXEMPT),
         exclude=strings("exclude", ()),
         source=source,
     )

@@ -5,11 +5,24 @@ in sorted path order, rules in sorted code order, and findings are
 emitted sorted by ``(path, line, col, code)`` — so two lint runs over
 the same tree produce byte-identical reports (the linter holds itself
 to the standard it enforces).
+
+Two passes compose one run:
+
+* **Phase 1 (per file)** — parse, run the per-module battery, collect
+  waivers, and distill a :class:`~repro.lint.summaries.ModuleSummary`.
+  Everything phase 1 produces is content-addressed: with ``--cache``,
+  a file whose SHA-256 is unchanged is never re-parsed.
+* **Phase 2 (``--project``)** — link the summaries into a
+  :class:`~repro.lint.graph.ProjectModel` and run the cross-module
+  rules over it.  Phase 2 is always recomputed (it is cheap relative
+  to parsing, and any file change can shift reachability).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path, PurePosixPath
@@ -17,8 +30,20 @@ from typing import Iterator, Sequence
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import ModuleContext, Rule, all_rules
-from repro.lint.waivers import collect_waivers
+from repro.lint.graph import build_project_model, model_payload
+from repro.lint.rules import ModuleContext, ProjectRule, Rule, all_rules
+from repro.lint.summaries import (
+    ModuleSummary,
+    summarize_module,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.lint.waivers import (
+    WaiverSet,
+    collect_waivers,
+    load_baseline,
+    write_baseline,
+)
 
 __all__ = [
     "LintEngine",
@@ -26,10 +51,15 @@ __all__ = [
     "lint_paths",
     "module_name",
     "iter_python_files",
+    "CACHE_VERSION",
 ]
 
 #: Code attached to files that fail to parse at all.
 SYNTAX_ERROR_CODE = "SYNTAX"
+
+#: Bumped whenever cached phase-1 artifacts change shape or meaning
+#: (summary fields, finding fields, rule semantics).
+CACHE_VERSION = 1
 
 
 @dataclass
@@ -38,9 +68,16 @@ class LintResult:
 
     #: Unwaived findings, sorted by position.
     findings: list[Finding] = field(default_factory=list)
-    #: Findings suppressed by waiver comments, sorted by position.
+    #: Findings suppressed by waiver comments or a baseline, sorted.
     waived: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: How many ``waived`` entries a ``--baseline`` file suppressed.
+    baselined: int = 0
+    #: Diagnostics that are not findings: scope-audit warnings, cache
+    #: statistics, unresolved entry points.
+    notes: list[str] = field(default_factory=list)
+    #: Whole-program payload (graph dump) when ``--project`` ran.
+    project: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -52,6 +89,30 @@ class LintResult:
         for finding in self.findings:
             counts[finding.code] = counts.get(finding.code, 0) + 1
         return dict(sorted(counts.items()))
+
+
+@dataclass
+class _FileRecord:
+    """Phase-1 artifacts for one analyzed file."""
+
+    display: str
+    sha256: str
+    kept: list[Finding]
+    waived: list[Finding]
+    waivers: WaiverSet
+    summary: ModuleSummary | None
+    source_lines: list[str]
+    from_cache: bool = False
+
+    def to_cache(self) -> dict:
+        return {
+            "sha256": self.sha256,
+            "findings": [f.to_dict() for f in self.kept],
+            "waived": [f.to_dict() for f in self.waived],
+            "waivers": self.waivers.to_dict(),
+            "summary": (summary_to_dict(self.summary)
+                        if self.summary is not None else None),
+        }
 
 
 def module_name(path: Path) -> str:
@@ -116,25 +177,46 @@ class LintEngine:
         self.rules: list[Rule] = [
             rule for rule in candidates if self.config.enabled(rule.code)
         ]
+        self.project_rules: list[ProjectRule] = [
+            rule for rule in self.rules if isinstance(rule, ProjectRule)
+        ]
+        self.file_rules: list[Rule] = [
+            rule for rule in self.rules
+            if not isinstance(rule, ProjectRule)
+        ]
 
     def lint_file(self, path: Path) -> tuple[list[Finding], list[Finding]]:
         """Lint one file; returns ``(unwaived, waived)`` findings."""
+        record = self._analyze_file(path, need_summary=False)
+        return record.kept, record.waived
+
+    def _analyze_file(self, path: Path,
+                      need_summary: bool) -> _FileRecord:
+        """Phase 1 for one file: parse, per-module rules, summary."""
         display = _display_path(path)
         source = path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        lines = source.splitlines()
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return ([Finding(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=SYNTAX_ERROR_CODE,
-                message=f"file does not parse: {exc.msg}",
-                severity=Severity.ERROR,
-            )], [])
+            return _FileRecord(
+                display=display, sha256=digest,
+                kept=[Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                )],
+                waived=[], waivers=WaiverSet(), summary=None,
+                source_lines=lines,
+            )
+        module = module_name(path)
         context = ModuleContext(
             path=display,
-            module=module_name(path),
+            module=module,
             tree=tree,
             source=source,
             config=self.config,
@@ -142,7 +224,7 @@ class LintEngine:
         waivers = collect_waivers(source)
         kept: list[Finding] = []
         waived: list[Finding] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             for finding in rule.check(context):
                 if waivers.is_waived(finding.line, finding.code):
                     waived.append(finding.as_waived())
@@ -150,23 +232,224 @@ class LintEngine:
                     kept.append(finding)
         kept.sort(key=lambda finding: finding.sort_key)
         waived.sort(key=lambda finding: finding.sort_key)
-        return kept, waived
+        summary = None
+        if need_summary:
+            summary = summarize_module(
+                tree, module, display,
+                is_package=path.name == "__init__.py",
+            )
+        return _FileRecord(
+            display=display, sha256=digest, kept=kept, waived=waived,
+            waivers=waivers, summary=summary, source_lines=lines,
+        )
 
-    def lint_paths(self, paths: Sequence[Path | str]) -> LintResult:
-        """Lint every python file under ``paths``."""
+    # -- Cache plumbing ------------------------------------------------
+
+    def _config_digest(self) -> str:
+        """Fingerprint of everything that shapes phase-1 output."""
+        identity = "|".join([
+            str(CACHE_VERSION),
+            repr(self.config),
+            ",".join(sorted(rule.code for rule in self.rules)),
+        ])
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def _load_cache(self, cache_path: Path) -> dict:
+        try:
+            data = json.loads(cache_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        if data.get("version") != CACHE_VERSION:
+            return {}
+        if data.get("config") != self._config_digest():
+            return {}
+        files = data.get("files")
+        return files if isinstance(files, dict) else {}
+
+    @staticmethod
+    def _record_from_cache(display: str, entry: dict,
+                           source_lines: list[str]) -> _FileRecord:
+        summary_data = entry.get("summary")
+        return _FileRecord(
+            display=display,
+            sha256=entry["sha256"],
+            kept=[Finding.from_dict(f) for f in entry["findings"]],
+            waived=[Finding.from_dict(f) for f in entry["waived"]],
+            waivers=WaiverSet.from_dict(entry["waivers"]),
+            summary=(summary_from_dict(summary_data)
+                     if summary_data is not None else None),
+            source_lines=source_lines,
+            from_cache=True,
+        )
+
+    # -- The run -------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[Path | str], *,
+                   project: bool = False,
+                   cache_path: Path | str | None = None,
+                   baseline_path: Path | str | None = None
+                   ) -> LintResult:
+        """Lint every python file under ``paths``.
+
+        ``project=True`` additionally links the per-module summaries
+        into a whole-program model and runs the cross-module rules.
+        ``cache_path`` enables the content-hash cache; ``baseline_path``
+        suppresses findings recorded by ``--write-waivers``.
+        """
         result = LintResult()
+        need_summary = project or cache_path is not None
+        cached_files: dict = {}
+        if cache_path is not None:
+            cached_files = self._load_cache(Path(cache_path))
+        hits = misses = 0
+
+        records: list[_FileRecord] = []
         for path in iter_python_files(
                 [Path(p) for p in paths], self.config.exclude):
-            kept, waived = self.lint_file(path)
-            result.findings.extend(kept)
-            result.waived.extend(waived)
+            display = _display_path(path)
+            entry = cached_files.get(display)
+            if entry is not None:
+                source = path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(
+                    source.encode("utf-8")).hexdigest()
+                if entry.get("sha256") == digest and (
+                        not need_summary
+                        or entry.get("summary") is not None
+                        or entry["findings"]
+                        and entry["findings"][0]["code"]
+                        == SYNTAX_ERROR_CODE):
+                    records.append(self._record_from_cache(
+                        display, entry, source.splitlines()))
+                    hits += 1
+                    continue
+            records.append(self._analyze_file(path, need_summary))
+            misses += 1
+
+        for record in records:
+            result.findings.extend(record.kept)
+            result.waived.extend(record.waived)
             result.files_checked += 1
+
+        if project:
+            self._run_project_phase(result, records)
+
+        if baseline_path is not None:
+            self._apply_baseline(result, records, Path(baseline_path))
+
+        if cache_path is not None:
+            result.notes.append(
+                f"cache: {hits} hit{'s' if hits != 1 else ''}, "
+                f"{misses} miss{'es' if misses != 1 else ''}"
+            )
+            self._write_cache(Path(cache_path), records)
+
         result.findings.sort(key=lambda finding: finding.sort_key)
         result.waived.sort(key=lambda finding: finding.sort_key)
+        result.notes.sort()
         return result
+
+    def _run_project_phase(self, result: LintResult,
+                           records: list[_FileRecord]) -> None:
+        summaries: dict[str, ModuleSummary] = {}
+        waiver_sets: dict[str, WaiverSet] = {}
+        for record in records:
+            waiver_sets[record.display] = record.waivers
+            if record.summary is None:
+                continue
+            key = record.summary.module
+            if key in summaries:
+                # Two top-level scripts with the same stem (e.g. in
+                # tools/ and examples/): keep both, under a key that
+                # can never match a dotted scope.
+                key = f"{key}@{record.display}"
+                result.notes.append(
+                    f"module name collision: '{record.summary.module}' "
+                    f"also names {summaries[record.summary.module].path}"
+                    f"; analyzing {record.display} standalone"
+                )
+            summaries[key] = record.summary
+        model = build_project_model(summaries, self.config)
+        for rule in self.project_rules:
+            for finding in rule.check_project(model):
+                waivers = waiver_sets.get(finding.path, WaiverSet())
+                if waivers.is_waived(finding.line, finding.code):
+                    result.waived.append(finding.as_waived())
+                else:
+                    result.findings.append(finding)
+        result.notes.extend(model.notes)
+        result.project = model_payload(model)
+
+    @staticmethod
+    def _apply_baseline(result: LintResult,
+                        records: list[_FileRecord],
+                        baseline_path: Path) -> None:
+        baseline = load_baseline(baseline_path)
+        sources = {record.display: record.source_lines
+                   for record in records}
+        kept: list[Finding] = []
+        for finding in sorted(result.findings,
+                              key=lambda f: f.sort_key):
+            lines = sources.get(finding.path, [])
+            text = (lines[finding.line - 1]
+                    if 0 < finding.line <= len(lines) else "")
+            if baseline.matches(finding, text):
+                result.waived.append(finding.as_waived())
+                result.baselined += 1
+            else:
+                kept.append(finding)
+        result.findings = kept
+
+    def _write_cache(self, cache_path: Path,
+                     records: list[_FileRecord]) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "config": self._config_digest(),
+            "files": {record.display: record.to_cache()
+                      for record in records},
+        }
+        try:
+            cache_path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:  # pragma: no cover - read-only checkouts
+            pass
+
+    def write_waivers(self, paths: Sequence[Path | str],
+                      baseline_path: Path | str, *,
+                      project: bool = False) -> int:
+        """Snapshot today's unwaived findings into a baseline file.
+
+        Returns the number of entries written.  The resulting file is
+        consumed by ``lint_paths(baseline_path=...)`` — the
+        ``--write-waivers`` / ``--baseline`` pair lets a new strict
+        rule family land without blocking un-cleaned trees.
+        """
+        need_summary = project
+        records: list[_FileRecord] = []
+        for path in iter_python_files(
+                [Path(p) for p in paths], self.config.exclude):
+            records.append(self._analyze_file(path, need_summary))
+        result = LintResult()
+        for record in records:
+            result.findings.extend(record.kept)
+        if project:
+            self._run_project_phase(result, records)
+        sources = {record.display: record.source_lines
+                   for record in records}
+        return write_baseline(Path(baseline_path), result.findings,
+                              sources)
 
 
 def lint_paths(paths: Sequence[Path | str],
-               config: LintConfig | None = None) -> LintResult:
+               config: LintConfig | None = None, *,
+               project: bool = False,
+               cache_path: Path | str | None = None,
+               baseline_path: Path | str | None = None) -> LintResult:
     """Convenience: lint ``paths`` with ``config`` (or the defaults)."""
-    return LintEngine(config).lint_paths(paths)
+    return LintEngine(config).lint_paths(
+        paths, project=project, cache_path=cache_path,
+        baseline_path=baseline_path,
+    )

@@ -17,8 +17,14 @@ can consume findings without scraping text:
          "message": "..."}
       ],
       "waived": [],
-      "summary": {"total": 1, "waived": 0, "by_rule": {"DET001": 1}}
+      "notes": [],
+      "summary": {"total": 1, "waived": 0, "baselined": 0,
+                  "by_rule": {"DET001": 1}}
     }
+
+Under ``--project`` the payload additionally carries a ``"project"``
+object — the whole-program graph dump (entry points, the project-
+internal import graph, the inferred sim scope, reachability counts).
 """
 
 from __future__ import annotations
@@ -34,7 +40,9 @@ __all__ = ["render_human", "render_json", "render_rule_list",
            "JSON_SCHEMA_VERSION"]
 
 #: Bumped on any backwards-incompatible change to the JSON layout.
-JSON_SCHEMA_VERSION = 1
+#: Version 2 added ``notes``, ``summary.baselined``, and the optional
+#: ``project`` graph dump.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_human(result: LintResult, *, show_waived: bool = False) -> str:
@@ -51,6 +59,8 @@ def render_human(result: LintResult, *, show_waived: bool = False) -> str:
                 f"{finding.location()}: {finding.code} [waived] "
                 f"{finding.message}"
             )
+    for note in result.notes:
+        lines.append(f"note: {note}")
     total = len(result.findings)
     summary = (
         f"checked {result.files_checked} file"
@@ -65,6 +75,14 @@ def render_human(result: LintResult, *, show_waived: bool = False) -> str:
         summary += "no findings"
     if result.waived:
         summary += f", {len(result.waived)} waived"
+    if result.baselined:
+        summary += f" ({result.baselined} by baseline)"
+    if result.project is not None:
+        summary += (
+            f" [project: {result.project['functions']} functions, "
+            f"{result.project['reachable_functions']} reachable from "
+            f"{len(result.project['entry_points'])} entry points]"
+        )
     lines.append(summary)
     return "\n".join(lines)
 
@@ -87,12 +105,16 @@ def render_json(result: LintResult) -> str:
         "files_checked": result.files_checked,
         "findings": [_finding_dict(f) for f in result.findings],
         "waived": [_finding_dict(f) for f in result.waived],
+        "notes": list(result.notes),
         "summary": {
             "total": len(result.findings),
             "waived": len(result.waived),
+            "baselined": result.baselined,
             "by_rule": result.by_rule(),
         },
     }
+    if result.project is not None:
+        payload["project"] = result.project
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

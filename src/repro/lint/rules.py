@@ -26,8 +26,10 @@ from repro.lint.findings import Finding, Severity
 __all__ = [
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "register_rule",
     "all_rules",
+    "project_rules",
     "get_rule",
     "rule_codes",
     "root_name",
@@ -105,6 +107,31 @@ class Rule(abc.ABC):
         return f"<Rule {self.code} ({self.name})>"
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-program model, not one module.
+
+    Project rules run only under ``--project`` (phase 2): they receive
+    the linked :class:`~repro.lint.graph.ProjectModel` and may anchor
+    findings in *any* analyzed file.  The per-module :meth:`check` is a
+    no-op so a mixed battery can be dispatched uniformly.
+    """
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    @abc.abstractmethod
+    def check_project(self, model) -> Iterable[Finding]:
+        """Yield every violation of this rule across ``model``."""
+
+    def project_finding(self, path: str, line: int, col: int,
+                        message: str) -> Finding:
+        """Build a finding at an explicit position in ``path``."""
+        return Finding(
+            path=path, line=line, col=col, code=self.code,
+            message=message, severity=self.severity,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -128,6 +155,12 @@ def all_rules() -> list[Rule]:
     """Every registered rule, sorted by code."""
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def project_rules() -> list["ProjectRule"]:
+    """Every registered whole-program rule, sorted by code."""
+    return [rule for rule in all_rules()
+            if isinstance(rule, ProjectRule)]
 
 
 def rule_codes() -> list[str]:

@@ -20,11 +20,25 @@ waivers inside string literals are never misread as directives.
 from __future__ import annotations
 
 import io
+import json
 import re
 import tokenize
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["WaiverSet", "collect_waivers", "WAIVER_ALL"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.findings import Finding
+
+__all__ = [
+    "WaiverSet",
+    "collect_waivers",
+    "WAIVER_ALL",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "BASELINE_VERSION",
+]
 
 #: Pseudo-code accepted in a waiver comment to mean "every rule".
 WAIVER_ALL = "all"
@@ -53,6 +67,22 @@ class WaiverSet:
 
     def __bool__(self) -> bool:
         return bool(self.by_line) or bool(self.file_wide)
+
+    def to_dict(self) -> dict:
+        """JSON-safe projection (the lint cache round-trips these)."""
+        return {
+            "by_line": {str(line): sorted(codes)
+                        for line, codes in sorted(self.by_line.items())},
+            "file_wide": sorted(self.file_wide),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WaiverSet":
+        return cls(
+            by_line={int(line): frozenset(codes)
+                     for line, codes in data["by_line"].items()},
+            file_wide=frozenset(data["file_wide"]),
+        )
 
 
 def _parse_comment(comment: str) -> tuple[str, frozenset[str]] | None:
@@ -104,3 +134,76 @@ def collect_waivers(source: str) -> WaiverSet:
         by_line={line: frozenset(codes) for line, codes in by_line.items()},
         file_wide=frozenset(file_wide),
     )
+
+
+# -- Baselines (``--write-waivers`` / ``--baseline``) --------------------
+#
+# A baseline is a *file-based* waiver set: a JSON snapshot of today's
+# findings, so a new strict-by-default rule family can land without
+# blocking trees that have not been cleaned up yet.  Entries are keyed
+# by ``(path, code, stripped source line)`` — not by line number — so
+# unrelated edits above a baselined finding do not invalidate it, while
+# any edit to the offending line itself surfaces the finding again.
+
+#: Bumped on any backwards-incompatible change to the baseline layout.
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Loaded baseline entries, consumed as findings match them."""
+
+    def __init__(self, entries: Sequence[dict],
+                 source: str = "<baseline>") -> None:
+        self.source = source
+        self._available: dict[tuple[str, str, str], int] = {}
+        for entry in entries:
+            key = (entry["path"], entry["code"], entry["text"])
+            self._available[key] = self._available.get(key, 0) + 1
+
+    def matches(self, finding: "Finding", line_text: str) -> bool:
+        """Consume one entry for ``finding`` if the baseline has it."""
+        key = (finding.path, finding.code, line_text.strip())
+        remaining = self._available.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._available[key] = remaining - 1
+        return True
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline written by :func:`write_baseline`."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})"
+        )
+    return Baseline(data.get("entries", []), source=str(path))
+
+
+def write_baseline(path: Path, findings: Sequence["Finding"],
+                   sources: dict[str, list[str]]) -> int:
+    """Snapshot ``findings`` into a baseline file; returns the count.
+
+    ``sources`` maps display paths to their source lines, so each
+    entry can record the stripped text of the offending line.
+    """
+    entries = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        lines = sources.get(finding.path, [])
+        text = (lines[finding.line - 1].strip()
+                if 0 < finding.line <= len(lines) else "")
+        entries.append({
+            "path": finding.path,
+            "code": finding.code,
+            "line": finding.line,
+            "text": text,
+        })
+    payload = {
+        "version": BASELINE_VERSION,
+        "generated_by": "repro-lint --write-waivers",
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(entries)

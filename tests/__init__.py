@@ -1,0 +1,3 @@
+"""Test package for the consistency reproduction."""
+
+__all__: list[str] = []

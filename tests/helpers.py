@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from repro.core import ReadOp, TestTrace, WriteOp
 
+__all__ = ["DEFAULT_AGENTS", "write", "read", "make_trace"]
+
 DEFAULT_AGENTS = ("oregon", "tokyo", "ireland")
 
 

@@ -36,8 +36,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 #: Rules shipped so far; the registry must contain all of them.
-SHIPPED_RULES = ("DET001", "DET002", "DET003", "DET004", "TRACE001",
-                 "API001")
+SHIPPED_RULES = ("DET001", "DET002", "DET003", "DET004", "DET005",
+                 "DET006", "PAR001", "TRACE001", "TRACE002", "API001")
 
 
 def lint_snippet(tmp_path, source, *, filename="mod.py", config=None):
@@ -551,7 +551,12 @@ class TestConfig:
         assert config.in_sim_scope("repro.replication.eventual")
         assert config.in_trace_scope(
             "repro.core.anomalies.monotonic_reads")
-        assert not config.in_sim_scope("repro.analysis.cdf")
+        # The analysis layer joined the sim scope when scope lists
+        # became inference-backed; the linter itself never did.
+        assert config.in_sim_scope("repro.analysis.cdf")
+        assert not config.in_sim_scope("repro.lint.engine")
+        # repro.fleet is consciously exempt from scope inference.
+        assert config.in_scope_exempt("repro.fleet.executor")
 
     def test_with_overrides(self):
         config = LintConfig().with_overrides(
@@ -656,11 +661,14 @@ class TestCli:
         (tmp_path / "bad.py").write_text("import random\n__all__ = []\n")
         assert lint_main(["--format", "json", str(tmp_path)]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] == 1
+        assert payload["notes"] == []
         assert payload["summary"] == {
-            "total": 1, "waived": 0, "by_rule": {"DET001": 1},
+            "total": 1, "waived": 0, "baselined": 0,
+            "by_rule": {"DET001": 1},
         }
+        assert "project" not in payload
         (finding,) = payload["findings"]
         assert finding["code"] == "DET001"
         assert finding["line"] == 1

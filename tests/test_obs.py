@@ -8,10 +8,7 @@ backward-compat aliases for the pre-unification telemetry imports, and
 the ``repro-consistency obs`` CLI subcommand.
 """
 
-import importlib
 import json
-import sys
-import warnings
 
 import pytest
 
@@ -323,18 +320,6 @@ class TestRetryAccounting:
 
 
 class TestCompatAliases:
-    def test_fleet_events_module_warns_and_reexports(self):
-        sys.modules.pop("repro.fleet.events", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            module = importlib.import_module("repro.fleet.events")
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        from repro import obs
-        for name in module.__all__:
-            assert getattr(module, name) \
-                is getattr(obs.events, name)
-
     def test_fleet_package_reexports_warning_free(self):
         # ``repro.fleet`` re-exports straight from the canonical home,
         # so the supported import path never touches the shim.

@@ -31,6 +31,8 @@ from repro.calibrate import (
 )
 from repro.methodology import CampaignConfig, run_campaign
 
+__all__ = ["main"]
+
 
 def main():
     args = sys.argv[1:]

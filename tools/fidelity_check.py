@@ -34,6 +34,8 @@ from repro.calibrate import (
 )
 from repro.methodology import CampaignConfig, run_campaign
 
+__all__ = ["evaluate", "main"]
+
 DEFAULT_TESTS = 40
 DEFAULT_SEED = 7
 

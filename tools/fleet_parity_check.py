@@ -16,6 +16,8 @@ import tempfile
 from repro.fleet import FleetSpec, run_fleet
 from repro.methodology import CampaignConfig, prevalence_statistics
 
+__all__ = ["prevalences", "main"]
+
 SERVICES = ("blogger", "googleplus")
 
 

@@ -1,25 +1,39 @@
 #!/usr/bin/env bash
 # Run the full static-analysis battery locally, the same way CI does:
 #
-#   tools/lint_all.sh             # lint src/ with repro.lint (+ ruff)
-#   tools/lint_all.sh --format=json src tests
+#   tools/lint_all.sh                       # whole-program lint over the
+#                                           # same trees CI checks (+ ruff)
+#   tools/lint_all.sh --format=json src     # custom repro.lint invocation
 #
-# Extra arguments are forwarded to `python -m repro.lint`.  The ruff
-# layer (style / import order, configured under [tool.ruff] in
-# pyproject.toml) runs only when ruff is installed — it is optional:
+# Extra arguments replace the default `python -m repro.lint` invocation
+# (`--project src tests tools benchmarks examples`).  The ruff layer
+# (style / import order, configured under [tool.ruff] in pyproject.toml)
+# runs only when ruff is installed — it is optional:
 #
 #   pip install -e ".[lint]"
-set -euo pipefail
+#
+# Exit status is non-zero if *any* layer that ran failed — including
+# ruff when it is installed.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro.lint (determinism & trace-safety) =="
-python -m repro.lint "$@"
+status=0
+
+echo "== repro.lint (determinism & trace-safety, whole-program) =="
+if [ "$#" -gt 0 ]; then
+    python -m repro.lint "$@" || status=$?
+else
+    python -m repro.lint --project src tests tools benchmarks examples \
+        || status=$?
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff (style + import order) =="
-    ruff check src tests
+    ruff check src tests || status=$?
 else
     echo "== ruff not installed; skipping (pip install -e '.[lint]') =="
 fi
+
+exit "$status"

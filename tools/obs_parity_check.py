@@ -25,6 +25,13 @@ from repro.fleet import FleetSpec, run_fleet
 from repro.methodology import CampaignConfig, run_campaign
 from repro.obs.export import export_snapshot
 
+__all__ = [
+    "check_export_determinism",
+    "check_merge_stability",
+    "check_serial_fleet_byte_parity",
+    "main",
+]
+
 SERVICES = ("blogger", "googleplus")
 
 

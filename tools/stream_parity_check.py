@@ -29,6 +29,8 @@ from repro.methodology import CampaignConfig, run_campaign
 from repro.stream import OpIngest, verify_trace
 from repro.stream.ingest import feed_events
 
+__all__ = ["check_trace_parity", "replay_shard", "check_fleet_parity", "main"]
+
 SERVICES = ("blogger", "googleplus")
 
 
