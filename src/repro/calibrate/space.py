@@ -47,14 +47,23 @@ def base_params(service: str) -> Any:
         "facebook_feed": FacebookFeedParams,
         "facebook_group": FacebookGroupParams,
     }
-    try:
+    if service in factories:
         return factories[service]()
-    except KeyError:
+    from repro.errors import ConfigurationError
+    from repro.scenario.registry import (
+        get_scenario,
+        scenario_base_params,
+    )
+
+    try:
+        spec = get_scenario(service)
+    except ConfigurationError:
         known = ", ".join(sorted(factories))
         raise CalibrationError(
             f"no profile parameters for service {service!r} "
-            f"(have: {known})"
+            f"(have: {known}, plus registered scenario names)"
         ) from None
+    return scenario_base_params(spec)
 
 
 def _replace_path(params: Any, path: str, value: Any) -> Any:

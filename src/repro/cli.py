@@ -22,6 +22,12 @@ numbers, resumable and parallel like a fleet::
     repro-consistency calibrate --service googleplus --jobs 4 \\
         --store-out trials/ --calibrate-out fidelity.json
 
+Run a declarative scenario file through the same pipelines::
+
+    repro-consistency run --scenario examples/scenarios/gossip_mesh.toml
+    repro-consistency fleet --scenario examples/scenarios/gossip_mesh.toml \\
+        --jobs 4
+
 Quantify the Cristian clock-sync protocol's accuracy::
 
     repro-consistency clocksync --seed 7
@@ -60,8 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one service's measurement campaign"
     )
     run_cmd.add_argument(
-        "--service", required=True,
+        "--service", default=None,
         choices=SERVICE_NAMES + EXTENSION_SERVICE_NAMES,
+    )
+    run_cmd.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="run a declarative scenario file (TOML/JSON) instead of "
+             "a built-in service",
     )
     run_cmd.add_argument(
         "--masked", action="store_true",
@@ -136,8 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="regenerate every figure for chosen services"
     )
     figures_cmd.add_argument(
-        "--services", default=",".join(SERVICE_NAMES),
+        "--services", default=None,
         help="comma-separated service names (default: all four)",
+    )
+    figures_cmd.add_argument(
+        "--scenario", action="append", default=None, metavar="FILE",
+        help="also run a scenario file (repeatable)",
     )
     _add_campaign_args(figures_cmd)
     _add_fleet_args(figures_cmd)
@@ -154,8 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fleet_cmd.add_argument(
-        "--services", default=",".join(SERVICE_NAMES),
+        "--services", default=None,
         help="comma-separated service names (default: all four)",
+    )
+    fleet_cmd.add_argument(
+        "--scenario", action="append", default=None, metavar="FILE",
+        help="also run a scenario file (repeatable); the scenario's "
+             "content enters the spec hash, so editing the file "
+             "invalidates stored shards",
     )
     seeds_group = fleet_cmd.add_mutually_exclusive_group()
     seeds_group.add_argument(
@@ -230,7 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     calibrate_cmd.add_argument(
-        "--service", required=True, choices=SERVICE_NAMES,
+        "--service", default=None, choices=SERVICE_NAMES,
+    )
+    calibrate_cmd.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="calibrate a scenario file's declared [calibrate.axes] "
+             "against its [calibrate.targets]",
     )
     calibrate_cmd.add_argument(
         "--searcher", choices=("halving", "grid"), default="halving",
@@ -341,7 +367,26 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
     )
 
 
+def _load_cli_scenarios(paths) -> list:
+    """Load + register scenario files named on the command line."""
+    from repro.scenario import load_scenario, register_scenario
+
+    return [register_scenario(load_scenario(path), replace=True)
+            for path in paths]
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if (args.service is None) == (args.scenario is None):
+        print("run needs exactly one of --service / --scenario",
+              file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        from repro.scenario import scenario_campaign
+
+        (spec,) = _load_cli_scenarios([args.scenario])
+        service, config = scenario_campaign(spec, _config(args))
+    else:
+        service, config = args.service, _config(args)
     observer = None
     trace_file = None
     if args.trace_out:
@@ -350,8 +395,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_file = open(args.trace_out, "w", encoding="utf-8")
         observer = TraceEventWriter(trace_file)
     try:
-        result = run_campaign(args.service, _config(args),
-                              observer=observer)
+        result = run_campaign(service, config, observer=observer)
     finally:
         if trace_file is not None:
             trace_file.close()
@@ -364,7 +408,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"obs snapshot written to {args.obs_out}")
     print(f"service: {result.service}")
     print(f"tests:   {result.total_tests} "
-          f"({args.tests} per test type)")
+          f"({config.num_tests} per test type)")
     print(f"reads:   {result.total_reads}")
     print(f"writes:  {result.total_writes}")
     print()
@@ -388,16 +432,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_fleet_services(args) -> tuple[list[str], list, int]:
+    """(services, scenario specs, error) for --services/--scenario."""
+    specs = _load_cli_scenarios(args.scenario or [])
+    if args.services is not None:
+        services, unknown = _parse_services(args.services)
+        if unknown:
+            print(f"unknown services: {unknown}", file=sys.stderr)
+            return [], [], 2
+    elif specs:
+        services = []
+    else:
+        services = list(SERVICE_NAMES)
+    services += [spec.name for spec in specs
+                 if spec.name not in services]
+    return services, specs, 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
-    services, unknown = _parse_services(args.services)
-    if unknown:
-        print(f"unknown services: {unknown}", file=sys.stderr)
-        return 2
+    services, scenario_specs, error = _resolve_fleet_services(args)
+    if error:
+        return error
     from repro.fleet import FleetSpec, run_fleet
 
     spec = FleetSpec(services=tuple(services),
                      base_config=_config(args),
-                     seeds=(args.seed,))
+                     seeds=(args.seed,),
+                     scenarios=tuple(scenario_specs))
     outcome = run_fleet(spec, jobs=args.jobs)
     results = {job.service: result
                for job, result in zip(outcome.jobs, outcome.results)}
@@ -406,10 +467,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    services, unknown = _parse_services(args.services)
-    if unknown:
-        print(f"unknown services: {unknown}", file=sys.stderr)
-        return 2
+    services, scenario_specs, error = _resolve_fleet_services(args)
+    if error:
+        return error
     from repro.fleet import (
         FleetSpec,
         derive_fleet_seeds,
@@ -425,7 +485,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seeds = derive_fleet_seeds(args.seed,
                                    args.replicates or 3)
     spec = FleetSpec(services=tuple(services),
-                     base_config=_config(args), seeds=seeds)
+                     base_config=_config(args), seeds=seeds,
+                     scenarios=tuple(scenario_specs))
 
     def on_event(event) -> None:
         line = render_event(event)
@@ -612,15 +673,36 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         write_fidelity_json,
     )
 
+    if (args.service is None) == (args.scenario is None):
+        print("calibrate needs exactly one of --service / "
+              "--scenario", file=sys.stderr)
+        return 2
     base = CampaignConfig(seed=args.seed, inter_test_gap=args.gap)
+    space = objective = None
+    scenario_spec = None
+    if args.scenario is not None:
+        from repro.scenario import (
+            scenario_objective,
+            scenario_space,
+        )
+
+        (scenario_spec,) = _load_cli_scenarios([args.scenario])
+        service = scenario_spec.name
+        space = scenario_space(scenario_spec)
+        objective = scenario_objective(scenario_spec)
+        base = replace(base, scenario=scenario_spec,
+                       client_policy=scenario_spec.policy)
+    else:
+        service = args.service
     on_message = None if args.quiet else print
     outcome = run_calibration(
-        args.service, searcher=args.searcher, base_config=base,
+        service, searcher=args.searcher, space=space,
+        objective=objective, base_config=base,
         num_tests=args.tests, eta=args.eta, jobs=args.jobs,
         store_dir=args.store_out, on_message=on_message,
     )
     winner = outcome.winner
-    print(f"\n== Calibration winner for {args.service} "
+    print(f"\n== Calibration winner for {service} "
           f"({len(outcome.trials)} trials) ==")
     print(f"trial {winner.trial_id} at {winner.num_tests} tests/type, "
           f"weighted loss {winner.score.total:.4f}")
@@ -635,20 +717,20 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         baseline_score = baseline.score
     else:
         result = run_campaign(
-            args.service, replace(base, num_tests=winner.num_tests)
+            service, replace(base, num_tests=winner.num_tests)
         )
-        baseline_score = default_objective(args.service).evaluate(
-            result
-        )
+        scorer = (objective if objective is not None
+                  else default_objective(service))
+        baseline_score = scorer.evaluate(result)
     print()
     print(comparison_table(baseline_score, winner.score))
     if args.calibrate_out:
         write_fidelity_json(
             args.calibrate_out,
-            {f"{args.service}.default": baseline_score,
-             f"{args.service}.calibrated": winner.score},
+            {f"{service}.default": baseline_score,
+             f"{service}.calibrated": winner.score},
             extra={
-                "service": args.service,
+                "service": service,
                 "searcher": args.searcher,
                 "seed": args.seed,
                 "winner_trial": winner.trial_id,

@@ -93,6 +93,12 @@ class FleetSpec:
     #: Ordered ``(label, service_params)`` pairs — the sweep axis.
     #: None means "no sweep": shards keep the base config's params.
     param_grid: tuple[tuple[str, Any], ...] | None = None
+    #: Scenario specs backing non-built-in service names.  Usually
+    #: left empty: any service name that is not built in is resolved
+    #: through the scenario registry at construction and attached
+    #: here, so the full scenario content (not just its name) enters
+    #: ``spec_hash`` and rides pickled into workers.
+    scenarios: tuple[Any, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.services:
@@ -100,10 +106,30 @@ class FleetSpec:
                                      "service")
         from repro.services import SERVICE_CLASSES
 
-        unknown = [name for name in self.services
-                   if name not in SERVICE_CLASSES]
-        if unknown:
-            raise ConfigurationError(f"unknown services: {unknown}")
+        scenario_names = {spec.name for spec in self.scenarios}
+        missing = [name for name in self.services
+                   if name not in SERVICE_CLASSES
+                   and name not in scenario_names]
+        if missing:
+            from repro.scenario.registry import get_scenario
+
+            attached = list(self.scenarios)
+            unknown = []
+            for name in missing:
+                try:
+                    attached.append(get_scenario(name))
+                except ConfigurationError:
+                    unknown.append(name)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown services: {unknown}"
+                )
+            object.__setattr__(self, "scenarios", tuple(attached))
+        names = [spec.name for spec in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                "duplicate scenario names in fleet spec"
+            )
         if len(set(self.services)) != len(self.services):
             raise ConfigurationError("duplicate services in fleet spec")
         if not self.seeds:
@@ -139,14 +165,28 @@ class FleetSpec:
     def jobs(self) -> list[ShardJob]:
         """Expand the matrix into shard jobs, in merge order."""
         grid = self.param_grid or ((None, _NO_PARAMS),)
+        scenario_map = {spec.name: spec for spec in self.scenarios}
         jobs: list[ShardJob] = []
         for service in self.services:
+            base = self.base_config
+            already_lowered = (
+                base.scenario is not None
+                and getattr(base.scenario, "name", None) == service
+            )
+            if service in scenario_map and not already_lowered:
+                # Skip re-lowering a config the caller already lowered
+                # (calibrate does, after overriding rung budgets the
+                # scenario's workload section must not stomp).
+                from repro.scenario.registry import scenario_config
+
+                base = scenario_config(scenario_map[service],
+                                       self.base_config)
             for label, params in grid:
                 for seed in self.seeds:
                     if params is _NO_PARAMS:
-                        config = replace(self.base_config, seed=seed)
+                        config = replace(base, seed=seed)
                     else:
-                        config = replace(self.base_config, seed=seed,
+                        config = replace(base, seed=seed,
                                          service_params=params)
                     index = len(jobs)
                     parts = [f"{index:04d}", _slug(service)]

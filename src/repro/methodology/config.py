@@ -182,6 +182,17 @@ class CampaignConfig:
     #: masking ablation).  Agents share one dependency registry,
     #: modelling an application that piggybacks causal metadata.
     mask_sessions: bool = False
+    #: The scenario this campaign runs (a
+    #: :class:`repro.scenario.schema.ScenarioSpec`), or None for a
+    #: plain built-in service.  Carried on the config so it pickles
+    #: into fleet shard jobs and enters every spec digest — resuming a
+    #: fleet against an edited scenario re-runs instead of replaying
+    #: stale artifacts.
+    scenario: Any = None
+    #: The scenario's client resilience policy (a
+    #: :class:`repro.scenario.policies.PolicySpec`); the runner wraps
+    #: every agent session with it before masking applies.
+    client_policy: Any = None
 
     def __post_init__(self) -> None:
         if self.num_tests < 1:
@@ -194,6 +205,16 @@ class CampaignConfig:
             raise ConfigurationError(
                 "group_partition_tests must be >= 0"
             )
+
+    @classmethod
+    def from_scenario(cls, spec: Any,
+                      base: "CampaignConfig | None" = None
+                      ) -> "CampaignConfig":
+        """A config lowered from a scenario spec (see
+        :func:`repro.scenario.registry.scenario_config`)."""
+        from repro.scenario.registry import scenario_config
+
+        return scenario_config(spec, base)
 
     def effective_partition_tests(self) -> int:
         """Partition-stretch length after proportional auto-scaling."""

@@ -170,12 +170,23 @@ def run_campaign(service_name: str,
     re-derive, the analysis of each finished trace.
     """
     config = config or CampaignConfig()
-    plan = plan or PAPER_PLANS[service_name]
+    if plan is None:
+        if config.scenario is not None:
+            from repro.scenario.registry import scenario_plan
+
+            plan = scenario_plan(config.scenario)
+        else:
+            plan = PAPER_PLANS[service_name]
     world = MeasurementWorld(
         service_name, seed=config.seed,
         service_params=config.service_params,
         role_order=config.role_order,
+        scenario=config.scenario,
     )
+    # Policy wraps the raw session; masking stacks on top of it, as a
+    # real SDK layers session guarantees above its retry machinery.
+    if config.client_policy is not None:
+        _apply_client_policy(world, config.client_policy)
     if config.mask_sessions:
         _mask_agent_sessions(world)
     result = CampaignResult(service=service_name, config=config)
@@ -265,6 +276,18 @@ def _mask_agent_sessions(world: MeasurementWorld) -> None:
         )
 
 
+def _apply_client_policy(world: MeasurementWorld,
+                         policy_spec) -> None:
+    """Wrap every agent's session in the resilience policy layer.
+
+    Imported lazily, like masking, so the methodology package stays
+    importable without the scenario extension.
+    """
+    from repro.scenario.policies import apply_policy
+
+    apply_policy(world, policy_spec)
+
+
 def _gap_or(config: CampaignConfig, plan_gap: float) -> float:
     """The effective cool-down for budget computation."""
     return (config.inter_test_gap
@@ -275,6 +298,11 @@ def _effective_nemesis(service_name: str, config: CampaignConfig):
     """The configured nemesis, or the service's paper-default one."""
     if config.nemesis is not None:
         return config.nemesis
+    if config.scenario is not None and config.scenario.nemeses:
+        from repro.scenario.registry import scenario_nemesis
+
+        # Built fresh per campaign: nemeses carry arming state.
+        return scenario_nemesis(config.scenario)
     if (service_name == "facebook_group"
             and config.group_partition_tests != 0):
         from repro.methodology.nemesis import PartitionStretchNemesis

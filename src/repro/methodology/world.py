@@ -52,7 +52,8 @@ class MeasurementWorld:
                  max_drift_ppm: float = 40.0,
                  service_params: Any = None,
                  sync_samples: int = 8,
-                 role_order: tuple[str, ...] | None = None) -> None:
+                 role_order: tuple[str, ...] | None = None,
+                 scenario: Any = None) -> None:
         """Assemble one measurement world.
 
         ``role_order`` permutes which location plays which *role* in
@@ -62,6 +63,10 @@ class MeasurementWorld:
         asymmetries in its figures were artifacts of role order, not
         geography; pass e.g. ``("ireland", "oregon", "tokyo")`` to run
         the same rotation.
+
+        ``scenario`` (a :class:`repro.scenario.schema.ScenarioSpec`)
+        makes the world build the declared service model instead of
+        looking ``service_name`` up in the built-in registry.
         """
         self.service_name = service_name
         self.sim = Simulator()
@@ -89,6 +94,7 @@ class MeasurementWorld:
         self.service = build_service(
             service_name, self.sim, self.topology, self.network,
             self.rng.child("service"), params=service_params,
+            scenario=scenario,
         )
 
         ordered_names = self._validate_role_order(role_order)

@@ -10,6 +10,8 @@
   under partitions (Facebook Group).
 * :class:`RankedFeedStore` — a logical post store read through a
   per-user interest-ranking pipeline (Facebook Feed).
+* :class:`GossipGroup` — leaderless rumor-mongering with periodic
+  anti-entropy (the scenario DSL's gossip archetype).
 
 Shared pieces: :class:`VersionedStore` (ordered write store remembering
 past versions) and the ordering policies in
@@ -20,6 +22,11 @@ from repro.replication.eventual import (
     DatacenterReplica,
     EventualGroup,
     EventualParams,
+)
+from repro.replication.gossip import (
+    GossipGroup,
+    GossipParams,
+    GossipReplica,
 )
 from repro.replication.group_store import (
     GeoGroupStore,
@@ -58,4 +65,7 @@ __all__ = [
     "QuorumParams",
     "QuorumReplica",
     "QuorumStore",
+    "GossipParams",
+    "GossipReplica",
+    "GossipGroup",
 ]

@@ -78,7 +78,8 @@ class ServiceSession:
         self.writes_issued = 0
         self.reads_issued = 0
 
-    def post_message(self, message_id: str) -> Future:
+    def post_message(self, message_id: str,
+                     extra: dict[str, Any] | None = None) -> Future:
         """Write one event; resolves to the service's response body.
 
         The resolved value is the response body mapping (with at least
@@ -89,14 +90,18 @@ class ServiceSession:
         connection), which services with shared accounts — Google+
         moments in the paper's setup — use to distinguish producers:
         back-end fanout pipelines are per-producer, not per-account.
+        ``extra`` merges additional body parameters (e.g. the
+        ``idempotency_key`` the resilience policy layer attaches);
+        services that do not understand them ignore them.
         """
         self.writes_issued += 1
-        return self._unwrap(
-            self._client.post(self._post_path, {
-                "message_id": message_id,
-                "client_id": self._client.client_host,
-            })
-        )
+        body = {
+            "message_id": message_id,
+            "client_id": self._client.client_host,
+        }
+        if extra:
+            body.update(extra)
+        return self._unwrap(self._client.post(self._post_path, body))
 
     def fetch_messages(self) -> Future:
         """Read the current sequence; resolves to a tuple of ids.

@@ -43,15 +43,33 @@ EXTENSION_SERVICE_NAMES = ("quorum_kv",)
 
 def build_service(name: str, sim: Simulator, topology: Topology,
                   network: Network, rng: RandomSource,
-                  params: Any | None = None) -> OnlineService:
-    """Instantiate the named service into an existing world."""
-    try:
-        service_class = SERVICE_CLASSES[name]
-    except KeyError:
-        known = SERVICE_NAMES + EXTENSION_SERVICE_NAMES
-        raise ConfigurationError(
-            f"unknown service {name!r}; choose from {known}"
-        ) from None
+                  params: Any | None = None,
+                  scenario: Any | None = None) -> OnlineService:
+    """Instantiate the named service into an existing world.
+
+    ``scenario`` (a :class:`repro.scenario.schema.ScenarioSpec`)
+    builds the declared service model instead; a name that is neither
+    a built-in service nor accompanied by a spec is resolved through
+    the scenario registry, so loaded scenarios plug in everywhere a
+    service name is accepted.
+    """
+    if scenario is None and name not in SERVICE_CLASSES:
+        from repro.scenario.registry import get_scenario
+
+        try:
+            scenario = get_scenario(name)
+        except ConfigurationError:
+            known = SERVICE_NAMES + EXTENSION_SERVICE_NAMES
+            raise ConfigurationError(
+                f"unknown service {name!r}; choose from {known} or "
+                "a registered scenario name"
+            ) from None
+    if scenario is not None:
+        from repro.scenario.registry import build_scenario_service
+
+        return build_scenario_service(scenario, sim, topology,
+                                      network, rng, params=params)
+    service_class = SERVICE_CLASSES[name]
     if params is None:
         return service_class(sim, topology, network, rng)
     return service_class(sim, topology, network, rng, params=params)

@@ -10,9 +10,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_run_requires_service(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run"])
+    def test_run_requires_service_or_scenario(self):
+        # --service became optional when --scenario arrived, so the
+        # exactly-one check happens in the handler, not argparse.
+        assert main(["run"]) == 2
+        assert main(["run", "--service", "blogger", "--scenario",
+                     "examples/scenarios/blogger.toml"]) == 2
 
     def test_run_rejects_unknown_service(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,439 @@
+"""Tests for the scenario DSL: schema validation, loading, registry.
+
+The loader contract under test: a malformed scenario file must raise
+:class:`ConfigurationError` naming the offending file and table/key —
+never silently fall back to a default — and the tomllib-free fallback
+parser must agree byte-for-byte with :mod:`tomllib` on every example
+file (that is what the 3.10 CI leg runs on).
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.methodology.config import CampaignConfig
+from repro.methodology.nemesis import (
+    CompositeNemesis,
+    LinkLossNemesis,
+    PeriodicPartitionNemesis,
+)
+from repro.scenario import (
+    SCHEMA_VERSION,
+    CalibrationSpec,
+    NemesisSpec,
+    PolicySpec,
+    ScenarioSpec,
+    ServiceSpec,
+    WorkloadSpec,
+    forget_scenario,
+    get_scenario,
+    load_scenario,
+    load_scenarios,
+    parse_scenario_toml,
+    register_scenario,
+    registered_scenarios,
+    scenario_config,
+    scenario_from_mapping,
+    scenario_nemesis,
+    scenario_objective,
+    scenario_params,
+    scenario_plan,
+    scenario_space,
+)
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 leg
+    tomllib = None
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples" / "scenarios").glob(
+        "*.toml"
+    )
+)
+
+MINIMAL_GOSSIP = """\
+[scenario]
+schema_version = 1
+name = "probe"
+
+[service]
+archetype = "gossip"
+regions = ["oregon", "tokyo"]
+"""
+
+
+def gossip_spec(**overrides) -> ScenarioSpec:
+    kwargs = {
+        "name": "probe",
+        "service": ServiceSpec(archetype="gossip",
+                               regions=("oregon", "tokyo")),
+    }
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestSchema:
+    def test_minimal_specs_validate(self):
+        spec = gossip_spec()
+        assert spec.version == SCHEMA_VERSION
+        assert spec.policy is None
+        builtin = ScenarioSpec(
+            name="my_blogger",
+            service=ServiceSpec(archetype="builtin", base="blogger"),
+        )
+        assert builtin.service.base == "blogger"
+
+    def test_digest_is_content_addressed(self):
+        assert gossip_spec().digest() == gossip_spec().digest()
+        other = gossip_spec(description="changed")
+        assert other.digest() != gossip_spec().digest()
+
+    def test_version_skew_is_rejected(self):
+        with pytest.raises(ConfigurationError,
+                           match="schema_version"):
+            gossip_spec(version=SCHEMA_VERSION + 1)
+
+    @pytest.mark.parametrize("name", ["", "2fast", "Probe", "a-b"])
+    def test_bad_names_are_rejected(self, name):
+        with pytest.raises(ConfigurationError, match="scenario.name"):
+            gossip_spec(name=name)
+
+    def test_name_may_not_shadow_builtin_service(self):
+        with pytest.raises(ConfigurationError, match="collides"):
+            gossip_spec(name="blogger")
+        # ... unless it is that builtin, expressed as a scenario.
+        spec = ScenarioSpec(
+            name="blogger",
+            service=ServiceSpec(archetype="builtin", base="blogger"),
+        )
+        assert spec.name == "blogger"
+
+    def test_unknown_archetype(self):
+        with pytest.raises(ConfigurationError, match="archetype"):
+            ServiceSpec(archetype="paxos")
+
+    def test_builtin_needs_known_base(self):
+        with pytest.raises(ConfigurationError, match="service.base"):
+            ServiceSpec(archetype="builtin", base="myspace")
+
+    def test_builtin_rejects_regions(self):
+        with pytest.raises(ConfigurationError, match="regions"):
+            ServiceSpec(archetype="builtin", base="blogger",
+                        regions=("oregon",))
+
+    def test_engine_rejects_base(self):
+        with pytest.raises(ConfigurationError, match="service.base"):
+            ServiceSpec(archetype="gossip", base="blogger")
+
+    def test_engine_rejects_unknown_regions(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            ServiceSpec(archetype="gossip", regions=("mars",))
+
+    def test_engine_rejects_duplicate_regions(self):
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            ServiceSpec(archetype="gossip",
+                        regions=("oregon", "oregon"))
+
+    def test_duplicate_param_paths(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            ServiceSpec(archetype="gossip",
+                        params=(("store.fanout", 1),
+                                ("store.fanout", 2)))
+
+    def test_nemesis_validation(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            NemesisSpec(kind="asteroid")
+        with pytest.raises(ConfigurationError, match="host_a"):
+            NemesisSpec(kind="periodic_partition", host_a="a")
+        with pytest.raises(ConfigurationError, match="differ"):
+            NemesisSpec(kind="periodic_partition", host_a="a",
+                        host_b="a")
+        with pytest.raises(ConfigurationError, match="period"):
+            NemesisSpec(kind="periodic_partition", host_a="a",
+                        host_b="b", period=0)
+        with pytest.raises(ConfigurationError, match="link"):
+            NemesisSpec(kind="link_loss")
+        with pytest.raises(ConfigurationError, match="probability"):
+            NemesisSpec(kind="link_loss", links=(("a", "b"),),
+                        probability=1.5)
+
+    def test_workload_validation(self):
+        with pytest.raises(ConfigurationError, match="num_tests"):
+            WorkloadSpec(num_tests=0)
+        with pytest.raises(ConfigurationError, match="test_types"):
+            WorkloadSpec(test_types=("test3",))
+        with pytest.raises(ConfigurationError, match="gap"):
+            WorkloadSpec(inter_test_gap=-1.0)
+        with pytest.raises(ConfigurationError, match="test1"):
+            WorkloadSpec(test1=(("warp_speed", 9),))
+
+    def test_calibration_validation(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            CalibrationSpec(axes=(("p", (1,)), ("p", (2,))))
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            CalibrationSpec(axes=(("p", ()),))
+        with pytest.raises(ConfigurationError, match="anomaly"):
+            CalibrationSpec(prevalence=(("stale_everything", 0.5),))
+        with pytest.raises(ConfigurationError, match="fraction"):
+            CalibrationSpec(prevalence=(("read_your_writes", 1.5),))
+
+
+class TestLoader:
+    def write(self, tmp_path, text, name="scenario.toml"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_loads_minimal_file(self, tmp_path):
+        spec = load_scenario(self.write(tmp_path, MINIMAL_GOSSIP))
+        assert spec.name == "probe"
+        assert spec.service.regions == ("oregon", "tokyo")
+
+    def test_error_names_the_file(self, tmp_path):
+        path = self.write(tmp_path, MINIMAL_GOSSIP.replace(
+            "schema_version = 1", "schema_version = 99"))
+        with pytest.raises(ConfigurationError) as err:
+            load_scenario(path)
+        assert str(path) in str(err.value)
+        assert "99" in str(err.value)
+
+    def test_unknown_top_level_table(self, tmp_path):
+        path = self.write(tmp_path,
+                          MINIMAL_GOSSIP + "\n[chaos]\nlevel = 9\n")
+        with pytest.raises(ConfigurationError,
+                           match=r"unknown key \[top level\].chaos"):
+            load_scenario(path)
+
+    def test_unknown_key_cites_table_and_key(self, tmp_path):
+        path = self.write(tmp_path, MINIMAL_GOSSIP.replace(
+            'archetype = "gossip"',
+            'archetype = "gossip"\nflavour = "mild"'))
+        with pytest.raises(ConfigurationError,
+                           match=r"unknown key \[service\].flavour"):
+            load_scenario(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"\[scenario\].name is required"):
+            load_scenario(self.write(
+                tmp_path, MINIMAL_GOSSIP.replace('name = "probe"\n',
+                                                 "")))
+        with pytest.raises(ConfigurationError,
+                           match=r"missing \[service\]"):
+            load_scenario(self.write(
+                tmp_path,
+                '[scenario]\nschema_version = 1\nname = "probe"\n'))
+
+    def test_wrong_types_are_rejected(self, tmp_path):
+        path = self.write(tmp_path, MINIMAL_GOSSIP.replace(
+            'name = "probe"', "name = 7"))
+        with pytest.raises(ConfigurationError, match="wrong type"):
+            load_scenario(path)
+        # bool is an int subclass; numeric fields must still reject it.
+        path = self.write(tmp_path, MINIMAL_GOSSIP +
+                          "\n[workload]\nnum_tests = true\n")
+        with pytest.raises(ConfigurationError, match="wrong type"):
+            load_scenario(path)
+
+    def test_out_of_range_values_cite_the_file(self, tmp_path):
+        path = self.write(tmp_path, MINIMAL_GOSSIP +
+                          "\n[workload]\nnum_tests = 0\n")
+        with pytest.raises(ConfigurationError) as err:
+            load_scenario(path)
+        assert str(path) in str(err.value)
+        assert "num_tests" in str(err.value)
+
+    def test_explicit_zero_probability_survives(self, tmp_path):
+        path = self.write(tmp_path, MINIMAL_GOSSIP + (
+            '\n[[nemesis]]\nkind = "link_loss"\n'
+            'links = [["a", "b"]]\nprobability = 0.0\n'))
+        spec = load_scenario(path)
+        assert spec.nemeses[0].probability == 0.0
+
+    def test_duplicate_scenario_names_across_files(self, tmp_path):
+        first = self.write(tmp_path, MINIMAL_GOSSIP, "one.toml")
+        second = self.write(tmp_path, MINIMAL_GOSSIP, "two.toml")
+        with pytest.raises(ConfigurationError) as err:
+            load_scenarios([first, second])
+        assert "one.toml" in str(err.value)
+        assert "two.toml" in str(err.value)
+
+    def test_json_scenarios_load_too(self, tmp_path):
+        data = {
+            "scenario": {"schema_version": 1, "name": "probe"},
+            "service": {"archetype": "gossip",
+                        "regions": ["oregon", "tokyo"]},
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        toml_spec = load_scenario(
+            self.write(tmp_path, MINIMAL_GOSSIP))
+        assert load_scenario(path) == toml_spec
+
+    def test_key_order_does_not_change_the_digest(self):
+        base = {
+            "scenario": {"schema_version": 1, "name": "probe"},
+            "service": {
+                "archetype": "gossip",
+                "regions": ["oregon", "tokyo"],
+                "params": {"store.fanout": 2,
+                           "store.read_lb_prob": 0.1},
+            },
+        }
+        flipped = json.loads(json.dumps(base))
+        flipped["service"]["params"] = {
+            "store.read_lb_prob": 0.1, "store.fanout": 2,
+        }
+        assert scenario_from_mapping(base, "a").digest() == \
+            scenario_from_mapping(flipped, "b").digest()
+
+
+class TestFallbackParser:
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_matches_tomllib_on_every_example(self, path):
+        if tomllib is None:  # pragma: no cover - 3.10 leg
+            pytest.skip("tomllib missing; the fallback is the parser")
+        text = path.read_text(encoding="utf-8")
+        assert parse_scenario_toml(text, str(path)) == \
+            tomllib.loads(text)
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_examples_validate_under_the_fallback(self, path):
+        data = parse_scenario_toml(
+            path.read_text(encoding="utf-8"), str(path))
+        spec = scenario_from_mapping(data, str(path))
+        assert spec.name == path.stem
+
+    def test_parse_errors_carry_line_numbers(self):
+        with pytest.raises(ConfigurationError, match="f.toml:2"):
+            parse_scenario_toml("[scenario]\nname\n", "f.toml")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_scenario_toml('[s]\na = 1\na = 2\n', "f.toml")
+        with pytest.raises(ConfigurationError, match="array"):
+            parse_scenario_toml('[s]\na = [1, 2\n', "f.toml")
+
+
+class TestRegistry:
+    @pytest.fixture(autouse=True)
+    def clean(self):
+        yield
+        forget_scenario("probe")
+
+    def test_register_and_resolve(self):
+        spec = register_scenario(gossip_spec())
+        assert get_scenario("probe") is spec
+        assert "probe" in registered_scenarios()
+        # Same content re-registers silently; new content must be
+        # explicit about replacing.
+        register_scenario(gossip_spec())
+        with pytest.raises(ConfigurationError, match="replace"):
+            register_scenario(gossip_spec(description="v2"))
+        register_scenario(gossip_spec(description="v2"),
+                          replace=True)
+        assert get_scenario("probe").description == "v2"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            get_scenario("nothing_here")
+
+    def test_params_stay_none_without_overrides(self):
+        # None keeps builtin scenarios byte-equivalent to plain runs.
+        assert scenario_params(gossip_spec()) is None
+
+    def test_param_overrides_replace_nested_fields(self):
+        spec = gossip_spec(service=ServiceSpec(
+            archetype="gossip", regions=("oregon",),
+            params=(("store.fanout", 3),
+                    ("rate_limit.max_requests", 5)),
+        ))
+        params = scenario_params(spec)
+        assert params.store.fanout == 3
+        assert params.rate_limit.max_requests == 5
+
+    def test_unknown_param_path_cites_the_path(self):
+        spec = gossip_spec(service=ServiceSpec(
+            archetype="gossip", regions=("oregon",),
+            params=(("store.viscosity", 3),),
+        ))
+        with pytest.raises(
+                ConfigurationError,
+                match=r"service\.params\.store\.viscosity"):
+            scenario_params(spec)
+
+    def test_config_lowering_applies_workload(self):
+        spec = gossip_spec(
+            workload=WorkloadSpec(num_tests=7,
+                                  test_types=("test1",),
+                                  mask_sessions=True),
+            policy=PolicySpec(retry_attempts=1),
+        )
+        config = scenario_config(spec, CampaignConfig(seed=9))
+        assert config.seed == 9
+        assert config.num_tests == 7
+        assert config.test_types == ("test1",)
+        assert config.mask_sessions is True
+        assert config.scenario is spec
+        assert config.client_policy == PolicySpec(retry_attempts=1)
+
+    def test_explicit_base_params_win(self):
+        # Calibrate sweeps a scenario by pinning service_params on the
+        # base config; the scenario's own overrides must not stomp it.
+        spec = gossip_spec(service=ServiceSpec(
+            archetype="gossip", regions=("oregon",),
+            params=(("store.fanout", 3),),
+        ))
+        pinned = scenario_params(spec)
+        pinned = dataclasses.replace(
+            pinned, store=dataclasses.replace(pinned.store, fanout=8))
+        config = scenario_config(
+            spec, CampaignConfig(service_params=pinned))
+        assert config.service_params.store.fanout == 8
+
+    def test_workload_overrides_reach_the_plan(self):
+        spec = gossip_spec(workload=WorkloadSpec(
+            test2=(("fast_reads", 5),)))
+        plan = scenario_plan(spec)
+        assert plan.test2.fast_reads == 5
+
+    def test_nemesis_instances_are_fresh_per_campaign(self):
+        spec = gossip_spec(nemeses=(
+            NemesisSpec(kind="periodic_partition", host_a="a",
+                        host_b="b", period=3),
+            NemesisSpec(kind="link_loss", links=(("a", "b"),),
+                        probability=0.2),
+        ))
+        first = scenario_nemesis(spec)
+        second = scenario_nemesis(spec)
+        assert isinstance(first, CompositeNemesis)
+        assert isinstance(first.parts[0], PeriodicPartitionNemesis)
+        assert isinstance(first.parts[1], LinkLossNemesis)
+        # Nemeses carry arming state; instances must not be shared.
+        assert first is not second
+        assert first.parts[0] is not second.parts[0]
+        assert scenario_nemesis(gossip_spec()) is None
+
+    def test_calibrate_hooks_require_declarations(self):
+        with pytest.raises(ConfigurationError, match="axes"):
+            scenario_space(gossip_spec())
+        with pytest.raises(ConfigurationError, match="prevalence"):
+            scenario_objective(gossip_spec())
+
+    def test_declared_space_and_objective(self):
+        spec = gossip_spec(calibration=CalibrationSpec(
+            axes=(("store.fanout", (1, 2)),),
+            prevalence=(("read_your_writes", 0.5),),
+        ))
+        space = scenario_space(spec)
+        assert space.service == "probe"
+        assert [axis.path for axis in space.axes] == ["store.fanout"]
+        objective = scenario_objective(spec)
+        assert objective.targets.service == "probe"
+        assert objective.targets.prevalence == {
+            "read_your_writes": 0.5,
+        }

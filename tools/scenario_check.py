@@ -1,0 +1,125 @@
+"""CI gate: every shipped scenario file validates and replays true.
+
+Three properties, one per layer of the scenario DSL:
+
+1. **parser parity** — every ``examples/scenarios/*.toml`` produces
+   the identical ``ScenarioSpec`` (same content digest) under
+   :mod:`tomllib` and under the built-in fallback parser, so the 3.10
+   CI leg (which has no tomllib) loads the same scenarios
+   byte-for-byte;
+2. **builtin equivalence** — a builtin-archetype scenario file is the
+   service it names: a short campaign through the scenario path must
+   produce the same ``campaign_signature`` as a plain
+   ``run_campaign``;
+3. **engine golden** — a short gossip-archetype campaign must replay
+   to its checked-in golden signature.
+
+    python tools/scenario_check.py
+
+Exit code 0 when all hold, 1 with a diagnostic otherwise.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.fleet.digest import campaign_signature
+from repro.methodology import CampaignConfig, run_campaign
+from repro.scenario import (
+    load_scenario,
+    parse_scenario_toml,
+    scenario_campaign,
+    scenario_from_mapping,
+)
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # 3.10 leg: the fallback is the parser
+    tomllib = None
+
+__all__ = ["main"]
+
+SCENARIO_DIR = Path(__file__).parent.parent / "examples" / "scenarios"
+
+#: Golden signature for the gossip engine replay below
+#: (gossip_mesh.toml, num_tests=2, seed=5) — must match
+#: tests/test_scenario_campaigns.py.
+GOSSIP_MESH_SIGNATURE = (
+    "b557c0aae4958a0b43de50dfbcb864e6441cfb85b29515ff25b90314c144b2d0"
+)
+
+#: The builtin-archetype file replayed for equivalence.
+BUILTIN_EXAMPLE = "blogger"
+
+
+def check_parser_parity(paths, failures):
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        fallback = scenario_from_mapping(
+            parse_scenario_toml(text, str(path)), str(path))
+        if fallback.name != path.stem:
+            failures.append(
+                f"{path.name}: scenario name {fallback.name!r} does "
+                "not match the file stem"
+            )
+        if tomllib is None:
+            continue
+        via_tomllib = scenario_from_mapping(
+            tomllib.loads(text), str(path))
+        if via_tomllib != fallback or \
+                via_tomllib.digest() != fallback.digest():
+            failures.append(
+                f"{path.name}: tomllib and the fallback parser "
+                "disagree on the parsed spec"
+            )
+
+
+def check_builtin_equivalence(failures):
+    spec = load_scenario(SCENARIO_DIR / f"{BUILTIN_EXAMPLE}.toml")
+    config = CampaignConfig(num_tests=2, seed=3)
+    via_scenario = campaign_signature(
+        run_campaign(*scenario_campaign(spec, config)))
+    plain = campaign_signature(
+        run_campaign(spec.service.base, config))
+    if via_scenario != plain:
+        failures.append(
+            f"builtin equivalence broken for {BUILTIN_EXAMPLE}: "
+            f"scenario {via_scenario} != plain {plain}"
+        )
+
+
+def check_engine_golden(failures):
+    spec = load_scenario(SCENARIO_DIR / "gossip_mesh.toml")
+    config = CampaignConfig(num_tests=2, seed=5)
+    signature = campaign_signature(
+        run_campaign(*scenario_campaign(spec, config)))
+    if signature != GOSSIP_MESH_SIGNATURE:
+        failures.append(
+            f"gossip golden signature drifted: got {signature}, "
+            f"expected {GOSSIP_MESH_SIGNATURE}"
+        )
+
+
+def main():
+    paths = sorted(SCENARIO_DIR.glob("*.toml"))
+    if not paths:
+        print(f"scenario check FAILED: no scenario files under "
+              f"{SCENARIO_DIR}")
+        return 1
+    failures = []
+    check_parser_parity(paths, failures)
+    check_builtin_equivalence(failures)
+    check_engine_golden(failures)
+    if failures:
+        print(f"scenario check FAILED ({len(paths)} files):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    parser = "tomllib+fallback" if tomllib else "fallback only"
+    print(f"scenario check passed: {len(paths)} files validated "
+          f"({parser}), builtin equivalence holds, gossip golden "
+          f"signature {GOSSIP_MESH_SIGNATURE[:16]} replayed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
