@@ -10,8 +10,8 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis import prevalence_rows, render_timeline
-from repro.core import ALL_ANOMALIES
 from repro.methodology import CampaignConfig, run_campaign
+from repro.relations import anomaly_kinds
 
 __all__ = ["main"]
 
@@ -37,7 +37,7 @@ def main() -> None:
               f"(assessed on {row.test_type})")
 
     print("\nOne concrete observation per anomaly:")
-    for anomaly in ALL_ANOMALIES:
+    for anomaly in anomaly_kinds():
         example = _first_observation(result, anomaly)
         if example is None:
             print(f"  {anomaly:22s} -- not observed")

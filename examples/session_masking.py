@@ -16,8 +16,8 @@ different users' views.
 Run:  python examples/session_masking.py
 """
 
-from repro.core import ALL_ANOMALIES, SESSION_ANOMALIES
 from repro.methodology import CampaignConfig, run_campaign
+from repro.relations import anomaly_kinds, session_anomaly_kinds
 
 __all__ = ["main"]
 
@@ -36,14 +36,14 @@ def main() -> None:
 
     print(f"{'anomaly':24s}{'raw':>10s}{'masked':>10s}")
     print("-" * 44)
-    for anomaly in ALL_ANOMALIES:
+    for anomaly in anomaly_kinds():
         raw = results["raw"].summary()[anomaly]
         masked = results["masked"].summary()[anomaly]
         print(f"{anomaly:24s}{raw:9.0%}{masked:10.0%}")
 
     session_masked = all(
         results["masked"].summary()[anomaly] == 0.0
-        for anomaly in SESSION_ANOMALIES
+        for anomaly in session_anomaly_kinds()
     )
     print()
     if session_masked:

@@ -9,8 +9,8 @@ quorum-intersection theorem, plus the latency price it charges.
 Run:  python examples/storage_probe.py
 """
 
-from repro.core import ALL_ANOMALIES
 from repro.methodology import CampaignConfig, run_campaign
+from repro.relations import anomaly_kinds
 from repro.replication import QuorumParams
 from repro.services import QuorumKvParams
 
@@ -45,15 +45,15 @@ def main() -> None:
                                                     write_quorum)
 
     short = {anomaly: anomaly.replace("_", " ")[:18]
-             for anomaly in ALL_ANOMALIES}
+             for anomaly in anomaly_kinds()}
     header = (f"{'config':10s}"
-              + "".join(f"{short[a]:>20s}" for a in ALL_ANOMALIES)
+              + "".join(f"{short[a]:>20s}" for a in anomaly_kinds())
               + f"{'write latency':>15s}")
     print(header)
     print("-" * len(header))
     for (read_quorum, write_quorum), (summary, latency) in rows.items():
         strict = "*" if read_quorum + write_quorum > 3 else " "
-        cells = "".join(f"{summary[a]:19.0%} " for a in ALL_ANOMALIES)
+        cells = "".join(f"{summary[a]:19.0%} " for a in anomaly_kinds())
         print(f"R={read_quorum} W={write_quorum}{strict:4s}"
               f"{cells}{latency:13.3f}s")
     print("\n(* = overlapping quorums, R + W > N)")

@@ -35,6 +35,11 @@ from repro.analysis.latency import (
     latency_table,
     operation_latencies,
 )
+from repro.analysis.metrics import (
+    MetricSummary,
+    metric_summaries,
+    metric_table,
+)
 from repro.analysis.plots import CdfSeries, render_cdf
 from repro.analysis.report import campaign_totals, full_report
 from repro.analysis.timeline import render_timeline
@@ -65,6 +70,9 @@ __all__ = [
     "window_cdf_table",
     "campaign_totals",
     "full_report",
+    "MetricSummary",
+    "metric_summaries",
+    "metric_table",
     "CdfSeries",
     "render_cdf",
     "LatencyBreakdown",

@@ -102,6 +102,13 @@ def full_report(results: dict[str, CampaignResult],
         if prevalence.counts:
             sections.append(pair_divergence_table(prevalence, agents))
 
+    if any(result.config.metrics for result in results.values()):
+        from repro.analysis.metrics import metric_table
+
+        sections.append("\n== Consistency metrics "
+                        "(spec-defined, repro.relations) ==")
+        sections.append(metric_table(results))
+
     return "\n".join(sections)
 
 

@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-anomaly live lines (keep summaries)",
     )
+    stream_cmd.add_argument(
+        "--metrics", default=None, metavar="NAMES",
+        help="comma-separated relation-layer metric names to "
+             "evaluate online per test (bounded-memory streaming "
+             "evaluators; see repro.relations.registry)",
+    )
     _add_out_flag(
         stream_cmd, "--obs-out",
         help="export the engine's metrics snapshot as "
@@ -340,6 +346,12 @@ def _add_campaign_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--seed", type=int, default=0)
     cmd.add_argument("--gap", type=float, default=15.0,
                      help="virtual cool-down between tests (seconds)")
+    cmd.add_argument(
+        "--metrics", default=None, metavar="NAMES",
+        help="comma-separated relation-layer metric names to "
+             "evaluate per test (see repro.relations.registry); "
+             "overrides a scenario file's metrics list",
+    )
 
 
 def _add_fleet_args(cmd: argparse.ArgumentParser) -> None:
@@ -359,11 +371,19 @@ def _parse_services(raw: str) -> tuple[list[str], list[str]]:
     return services, unknown
 
 
+def _parse_metrics(raw: str | None) -> tuple[str, ...]:
+    if not raw:
+        return ()
+    return tuple(name.strip() for name in raw.split(",")
+                 if name.strip())
+
+
 def _config(args: argparse.Namespace) -> CampaignConfig:
     return CampaignConfig(
         num_tests=args.tests, seed=args.seed,
         inter_test_gap=args.gap,
         mask_sessions=getattr(args, "masked", False),
+        metrics=_parse_metrics(getattr(args, "metrics", None)),
     )
 
 
@@ -413,6 +433,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"writes:  {result.total_writes}")
     print()
     print(prevalence_table({result.service: result}))
+    if result.config.metrics:
+        from repro.analysis import metric_table
+
+        print()
+        print(metric_table({result.service: result}))
     if args.campaign_out:
         from repro.io import save_campaign
 
@@ -510,6 +535,21 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  {anomaly:20s} mean {entry.mean:6.3f}  "
                   f"min {entry.minimum:6.3f}  "
                   f"max {entry.maximum:6.3f}")
+        if any(result.config.metrics for result in results):
+            from repro.analysis import metric_summaries
+
+            per_metric: dict[str, list[float]] = {}
+            for result in results:
+                for row in metric_summaries(result):
+                    per_metric.setdefault(row.metric,
+                                          []).append(row.value)
+            print(f"{service}: consistency metrics over "
+                  f"{len(results)} seed(s)")
+            for metric, values in per_metric.items():
+                mean = sum(values) / len(values)
+                print(f"  {metric:28s} mean {mean:8.2f}  "
+                      f"min {min(values):8g}  "
+                      f"max {max(values):8g}")
     if args.obs_out:
         merged = outcome.merged_obs()
         if merged is None:
@@ -549,8 +589,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         from repro.obs import ObsContext
 
         obs = ObsContext()
-    engine = StreamEngine(horizon=horizon, obs=obs)
+    metric_specs = ()
+    if args.metrics:
+        from repro.relations.registry import resolve_metrics
+
+        metric_specs = resolve_metrics(
+            _parse_metrics(args.metrics))
+    engine = StreamEngine(horizon=horizon, obs=obs,
+                          metrics=metric_specs)
     peak_state = 0
+    metric_totals = {spec.name: 0.0 for spec in metric_specs}
+    metric_measure = {spec.name: spec.measure
+                      for spec in metric_specs}
 
     def on_emission(meta, sop, emission) -> None:
         if args.quiet:
@@ -573,6 +623,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         summary = (", ".join(f"{kind}={count}" for kind, count
                              in sorted(found.items()))
                    or "clean")
+        for result in record.metrics:
+            if metric_measure.get(result.metric) == "max":
+                metric_totals[result.metric] = max(
+                    metric_totals[result.metric], result.value)
+            elif result.metric in metric_totals:
+                metric_totals[result.metric] += result.value
         print(f"[{meta.test_id}] closed: {summary} "
               f"(state={engine.state_size()})")
 
@@ -609,6 +665,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"peak state size:     {peak_state}")
     for kind, count in engine.anomaly_counts.items():
         print(f"  {kind:20s} {count}")
+    if metric_specs:
+        print("consistency metrics (streaming):")
+        for spec in metric_specs:
+            reduction = "max" if spec.measure == "max" else "total"
+            print(f"  {spec.name:28s} {reduction} "
+                  f"{metric_totals[spec.name]:g}")
     if obs is not None:
         from repro.obs.export import export_snapshot
 

@@ -154,19 +154,36 @@ class ArtifactStore:
         """
         existing = self._load_manifest()
         spec_hash = spec.spec_hash()
+        scenario_digests = {
+            scenario.name: scenario.digest()
+            for scenario in spec.scenarios
+        }
         if existing is not None:
             if existing["spec_hash"] != spec_hash:
+                # Scenario content binds spec_hash, so a mismatch is
+                # most often an edited scenario file: name both sides'
+                # content digests to make that diagnosable from the
+                # error alone.
+                stored = existing.get("scenario_digests", {})
+                detail = ""
+                if stored or scenario_digests:
+                    detail = (
+                        f" (store scenario digests {stored!r}, "
+                        f"requested scenario digests "
+                        f"{scenario_digests!r})"
+                    )
                 raise FleetError(
                     f"fleet store {self.root} belongs to spec "
                     f"{existing['spec_hash'][:12]}..., not "
-                    f"{spec_hash[:12]}...; use a fresh output "
-                    "directory per spec"
+                    f"{spec_hash[:12]}...{detail}; use a fresh "
+                    "output directory per spec"
                 )
             self._manifest = existing
             return
         self._manifest = {
             "store_version": STORE_VERSION,
             "spec_hash": spec_hash,
+            "scenario_digests": scenario_digests,
             "services": list(spec.services),
             "seeds": list(spec.seeds),
             "total_shards": spec.total_shards,

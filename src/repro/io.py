@@ -32,6 +32,7 @@ from repro.core.windows import WindowResult
 from repro.errors import AnalysisError
 from repro.methodology.config import CampaignConfig
 from repro.methodology.runner import CampaignResult, TestRecord
+from repro.relations.spec import MetricResult, MetricSample
 
 __all__ = [
     "save_campaign",
@@ -86,6 +87,38 @@ def _window_to_dict(window: WindowResult) -> dict:
     }
 
 
+def _metric_result_to_dict(result: MetricResult) -> dict:
+    return {
+        "metric": result.metric,
+        "value": result.value,
+        "samples": [
+            {
+                "agent": sample.agent,
+                "time": sample.time,
+                "value": sample.value,
+                "details": _jsonable(dict(sample.details)),
+            }
+            for sample in result.samples
+        ],
+    }
+
+
+def _metric_result_from_dict(data: dict) -> MetricResult:
+    return MetricResult(
+        metric=data["metric"],
+        value=data["value"],
+        samples=tuple(
+            MetricSample(
+                agent=sample["agent"],
+                time=sample["time"],
+                value=sample["value"],
+                details=_restore_details(sample["details"]),
+            )
+            for sample in data["samples"]
+        ),
+    )
+
+
 def _record_to_dict(record: TestRecord) -> dict:
     return {
         "test_id": record.test_id,
@@ -103,6 +136,12 @@ def _record_to_dict(record: TestRecord) -> dict:
         "reads_per_agent": dict(record.reads_per_agent),
         "writes_per_agent": dict(record.writes_per_agent),
         "duration": record.duration,
+        # Metric results only when the campaign requested them: the
+        # key's absence keeps metric-free record bytes (and therefore
+        # golden signatures and stored shards) unchanged.
+        **({"metrics": [_metric_result_to_dict(result)
+                        for result in record.metrics]}
+           if record.metrics else {}),
     }
 
 
@@ -136,6 +175,8 @@ def save_campaign(result: CampaignResult, path: str | Path) -> Path:
             "seed": result.config.seed,
             "test_types": list(result.config.test_types),
             "mask_sessions": result.config.mask_sessions,
+            **({"metrics": list(result.config.metrics)}
+               if result.config.metrics else {}),
         },
         "records": [_record_to_dict(record)
                     for record in result.records],
@@ -202,6 +243,8 @@ def _record_from_dict(data: dict, service: str) -> TestRecord:
         reads_per_agent=dict(data["reads_per_agent"]),
         writes_per_agent=dict(data["writes_per_agent"]),
         duration=data["duration"],
+        metrics=tuple(_metric_result_from_dict(result)
+                      for result in data.get("metrics", ())),
     )
 
 
@@ -439,6 +482,7 @@ def load_campaign(path: str | Path) -> CampaignResult:
         seed=config_data["seed"],
         test_types=tuple(config_data["test_types"]),
         mask_sessions=config_data.get("mask_sessions", False),
+        metrics=tuple(config_data.get("metrics", ())),
     )
     result = CampaignResult(service=document["service"], config=config)
     result.records.extend(

@@ -193,6 +193,12 @@ class CampaignConfig:
     #: :class:`repro.scenario.policies.PolicySpec`); the runner wraps
     #: every agent session with it before masking applies.
     client_policy: Any = None
+    #: Relation-layer consistency metrics to evaluate per test, by
+    #: registry name (see :mod:`repro.relations.registry`).  Empty
+    #: (the default) skips the metric layer entirely, leaving record
+    #: bytes — and therefore golden signatures — untouched.  Rides
+    #: the config into fleet shards and enters every spec digest.
+    metrics: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_tests < 1:
@@ -205,6 +211,11 @@ class CampaignConfig:
             raise ConfigurationError(
                 "group_partition_tests must be >= 0"
             )
+        if self.metrics:
+            object.__setattr__(self, "metrics", tuple(self.metrics))
+            from repro.relations.registry import resolve_metrics
+
+            resolve_metrics(self.metrics)
 
     @classmethod
     def from_scenario(cls, spec: Any,

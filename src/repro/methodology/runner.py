@@ -74,6 +74,12 @@ class TestRecord:
     duration: float
     #: Full trace, retained only when the campaign asked for it.
     trace: TestTrace | None = None
+    #: Relation-layer metric results
+    #: (:class:`repro.relations.spec.MetricResult`), present only when
+    #: the campaign requested metrics — absent, they never enter
+    #: record bytes, so golden signatures of metric-free campaigns
+    #: are untouched.
+    metrics: tuple = ()
 
 
 @dataclass
@@ -123,8 +129,15 @@ class CampaignResult:
 
 
 def analyze_trace(trace: TestTrace,
-                  keep_trace: bool = False) -> TestRecord:
-    """Distill one trace into a compact :class:`TestRecord`."""
+                  keep_trace: bool = False,
+                  metrics: tuple = ()) -> TestRecord:
+    """Distill one trace into a compact :class:`TestRecord`.
+
+    ``metrics`` is a tuple of resolved
+    :class:`~repro.relations.spec.MetricSpec` objects; when non-empty
+    the record additionally carries the relation-layer metric results
+    (see :mod:`repro.relations`).
+    """
     report = check_all(trace)
     content_windows: dict[Pair, WindowResult] = {}
     order_windows: dict[Pair, WindowResult] = {}
@@ -141,6 +154,11 @@ def analyze_trace(trace: TestTrace,
               for agent in trace.agents}
     times = [trace.corrected_response(op) for op in trace.operations]
     duration = (max(times) - min(times)) if times else 0.0
+    metric_results: tuple = ()
+    if metrics:
+        from repro.relations.batch import evaluate_metrics
+
+        metric_results = evaluate_metrics(trace, metrics)
     return TestRecord(
         test_id=trace.test_id,
         test_type=trace.test_type,
@@ -151,6 +169,7 @@ def analyze_trace(trace: TestTrace,
         writes_per_agent=writes,
         duration=duration,
         trace=trace if keep_trace else None,
+        metrics=metric_results,
     )
 
 
@@ -194,6 +213,12 @@ def run_campaign(service_name: str,
 
     nemesis = _effective_nemesis(service_name, config)
 
+    metric_specs: tuple = ()
+    if config.metrics:
+        from repro.relations.registry import resolve_metrics
+
+        metric_specs = resolve_metrics(config.metrics)
+
     def campaign():
         for test_type in config.test_types:
             duration_hint = (plan.test1.timeout if test_type == "test1"
@@ -225,11 +250,12 @@ def run_campaign(service_name: str,
                         world.faults.close(window, world.sim.now)
                 if observer is not None:
                     observer.test_closed(trace)
-                distill = analyzer if analyzer is not None \
-                    else analyze_trace
-                result.records.append(
-                    distill(trace, config.keep_traces)
-                )
+                if analyzer is not None:
+                    record = analyzer(trace, config.keep_traces)
+                else:
+                    record = analyze_trace(trace, config.keep_traces,
+                                           metrics=metric_specs)
+                result.records.append(record)
                 # Sub-second jitter varies the wall-clock phase between
                 # tests (load-bearing for second-truncated ordering).
                 yield gap + gap_stream.uniform(0.0, 1.0)

@@ -1,0 +1,44 @@
+"""Deprecated: the anomaly-registry surface, re-exported.
+
+Scripts that previously reached for the checker registry to enumerate
+or run the paper's six predicates should use the metric-spec API
+instead (:func:`repro.relations.anomaly_kinds`,
+:func:`repro.relations.resolve_metrics`,
+:func:`repro.relations.batch.evaluate_metrics`).  This module keeps
+the old route importable — one release of warning before removal.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.anomalies.base import (  # noqa: F401
+    ALL_ANOMALIES,
+    DIVERGENCE_ANOMALIES,
+    SESSION_ANOMALIES,
+    AnomalyObservation,
+)
+from repro.core.anomalies.registry import (  # noqa: F401
+    TraceReport,
+    check_all,
+    default_checkers,
+)
+
+__all__ = [
+    "ALL_ANOMALIES",
+    "SESSION_ANOMALIES",
+    "DIVERGENCE_ANOMALIES",
+    "AnomalyObservation",
+    "TraceReport",
+    "check_all",
+    "default_checkers",
+]
+
+warnings.warn(
+    "repro.relations.legacy re-exports the anomaly registry for "
+    "transition only; enumerate predicates via "
+    "repro.relations.anomaly_kinds() and express new metrics as "
+    "MetricSpecs (see docs/relations.md)",
+    DeprecationWarning,
+    stacklevel=2,
+)

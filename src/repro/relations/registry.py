@@ -1,0 +1,141 @@
+"""Built-in metric specs and name resolution.
+
+Five specs ship: three metrics the paper's six checkers cannot
+express (a ViSearch-style relaxed-consistency bound, inversion-based
+staleness counts, per-session monotonicity-violation depth) and two
+re-expressions of the paper's §IV predicates (read-your-writes,
+monotonic reads) whose verdicts are proved identical to the legacy
+checkers by ``tests/test_relations.py`` and the
+``tools/relations_parity_check.py`` CI gate.
+
+Campaign configs, scenario files, and the ``--metrics`` CLI flag all
+name metrics by these registry keys; :func:`resolve_metrics` turns
+names into spec tuples (order-preserving) and rejects unknowns.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.relations.spec import MetricSpec
+
+__all__ = [
+    "RELAXED_CONSISTENCY",
+    "STALE_READ_INVERSIONS",
+    "SESSION_MONOTONICITY_DEPTH",
+    "READ_YOUR_WRITES_SPEC",
+    "MONOTONIC_READS_SPEC",
+    "BUILTIN_SPECS",
+    "LEGACY_EQUIVALENTS",
+    "metric_names",
+    "resolve_metrics",
+]
+
+#: ViSearch almost-serializable score: per read, how many logged
+#: writes sit below the view's arbitration frontier yet are invisible;
+#: the test value is the worst read — the relaxation bound ``k`` at
+#: which the execution would pass a k-relaxed serializability check.
+RELAXED_CONSISTENCY = MetricSpec(
+    name="relaxed_consistency",
+    expect="visible",
+    violation="relaxation",
+    measure="max",
+    description=("worst-read count of arbitration-skipped writes "
+                 "below the visible frontier (ViSearch k-relaxation)"),
+)
+
+#: Inversion-based staleness: per read, the number of visible write
+#: pairs returned in the opposite of arbitration order, summed over
+#: the test — a register-level staleness magnitude, not a boolean.
+STALE_READ_INVERSIONS = MetricSpec(
+    name="stale_read_inversions",
+    expect="visible",
+    violation="inversion",
+    measure="sum",
+    description=("total visible write pairs whose view order "
+                 "contradicts arbitration order"),
+)
+
+#: Session monotonicity depth: per read, how many previously-seen ids
+#: vanished from the view; the test value is the deepest regression.
+#: The legacy monotonic-reads checker flags that this happened; the
+#: depth says how far the session was thrown back.
+SESSION_MONOTONICITY_DEPTH = MetricSpec(
+    name="session_monotonicity_depth",
+    expect="seen_before",
+    violation="missing",
+    measure="max",
+    description=("worst-read count of previously-observed ids "
+                 "missing from the view"),
+)
+
+#: The paper's Read Your Writes predicate as a spec: a read violates
+#: when any own completed write is missing from its view.
+READ_YOUR_WRITES_SPEC = MetricSpec(
+    name="read_your_writes",
+    expect="own_completed",
+    violation="missing",
+    measure="count",
+    description=("reads missing at least one of the session's own "
+                 "completed writes (paper §III RYW)"),
+)
+
+#: The paper's Monotonic Reads predicate as a spec: a read violates
+#: when an id some earlier read of the session returned is gone.
+MONOTONIC_READS_SPEC = MetricSpec(
+    name="monotonic_reads",
+    expect="seen_before",
+    violation="missing",
+    measure="count",
+    description=("reads missing at least one previously-observed id "
+                 "(paper §III MR)"),
+)
+
+#: Registry, in presentation order.
+BUILTIN_SPECS: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        RELAXED_CONSISTENCY,
+        STALE_READ_INVERSIONS,
+        SESSION_MONOTONICITY_DEPTH,
+        READ_YOUR_WRITES_SPEC,
+        MONOTONIC_READS_SPEC,
+    )
+}
+
+#: Spec name -> legacy anomaly kind it re-expresses (verdict-equal).
+LEGACY_EQUIVALENTS: dict[str, str] = {
+    "read_your_writes": "read_your_writes",
+    "monotonic_reads": "monotonic_reads",
+}
+
+
+def metric_names() -> tuple[str, ...]:
+    """All built-in metric names, in presentation order."""
+    return tuple(BUILTIN_SPECS)
+
+
+def resolve_metrics(names) -> tuple[MetricSpec, ...]:
+    """Turn metric names into specs, preserving order.
+
+    ``names`` may be any iterable of strings (a config tuple, a CLI
+    comma-split).  Unknown or duplicate names raise
+    :class:`~repro.errors.ConfigurationError` so a typo fails at
+    configuration time, not mid-campaign.
+    """
+    specs: list[MetricSpec] = []
+    chosen: set[str] = set()
+    for name in names:
+        spec = BUILTIN_SPECS.get(name)
+        if spec is None:
+            known = ", ".join(metric_names())
+            raise ConfigurationError(
+                f"unknown consistency metric {name!r}; "
+                f"known metrics: {known}"
+            )
+        if name in chosen:
+            raise ConfigurationError(
+                f"duplicate consistency metric {name!r}"
+            )
+        chosen.add(name)
+        specs.append(spec)
+    return tuple(specs)

@@ -1,0 +1,236 @@
+"""Declarative consistency-metric specs over visibility/arbitration.
+
+The paper's six anomaly predicates are *code* — one checker module
+each.  This module makes a consistency metric *data*: a
+:class:`MetricSpec` names which relation supplies each read's expected
+set (``expect``), how a read's value is computed against it
+(``violation``), and how per-read values fold into one number per test
+(``measure``).  Everything a spec can say is evaluated by one pure
+function, :func:`evaluate_read`, shared verbatim by the batch
+(:mod:`repro.relations.batch`) and streaming
+(:mod:`repro.relations.streaming`) evaluators — element-for-element
+parity between the two is an identity, not a coincidence, because both
+feed the same :class:`ReadContext` / :class:`Arbitration` inputs
+through the same code.
+
+Relations (ViSearch's vocabulary, specialized to the paper's traces):
+
+* **visibility** — read ``r`` sees write ``w`` iff ``w``'s message id
+  is in ``r.observed``; the view tuple itself is the read's *view
+  order*.
+* **arbitration** — the total order over a test's logged writes by
+  ``(corrected invocation, recording index)``: the reference-frame
+  order the substrates' timestamp keys approximate, and the order the
+  batch pipeline's ``trace.writes()`` already produces.
+* **session relations** — per agent: its own completed writes (in
+  session order) and the union of ids returned by its earlier reads.
+
+Vocabulary
+----------
+``expect``
+    ``own_completed`` — the agent's own writes completed before the
+    read invoked (session order);
+    ``seen_before`` — ids any earlier read of the same agent returned;
+    ``visible`` — the read's own view (for relation-only metrics that
+    need no expected set).
+``violation``
+    ``missing`` — expected ids absent from the view (count);
+    ``relaxation`` — ViSearch-style almost-serializable score: logged
+    writes skipped below the view's arbitration frontier;
+    ``inversion`` — staleness inversions: visible write pairs whose
+    view order contradicts arbitration order.
+``measure``
+    ``count`` — number of reads with a nonzero value;
+    ``sum`` — total value over all reads;
+    ``max`` — worst single read (the relaxation bound ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EXPECT_KINDS",
+    "VIOLATION_KINDS",
+    "MEASURE_KINDS",
+    "MetricSpec",
+    "MetricSample",
+    "MetricResult",
+    "Arbitration",
+    "ReadContext",
+    "evaluate_read",
+    "aggregate",
+]
+
+EXPECT_KINDS = ("own_completed", "seen_before", "visible")
+VIOLATION_KINDS = ("missing", "relaxation", "inversion")
+MEASURE_KINDS = ("count", "sum", "max")
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One consistency metric as data: a predicate over relations."""
+
+    name: str
+    expect: str
+    violation: str
+    measure: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("metric spec needs a name")
+        if self.expect not in EXPECT_KINDS:
+            raise ConfigurationError(
+                f"metric {self.name!r}: unknown expect kind "
+                f"{self.expect!r}; choose from {EXPECT_KINDS}"
+            )
+        if self.violation not in VIOLATION_KINDS:
+            raise ConfigurationError(
+                f"metric {self.name!r}: unknown violation kind "
+                f"{self.violation!r}; choose from {VIOLATION_KINDS}"
+            )
+        if self.measure not in MEASURE_KINDS:
+            raise ConfigurationError(
+                f"metric {self.name!r}: unknown measure kind "
+                f"{self.measure!r}; choose from {MEASURE_KINDS}"
+            )
+        if self.violation in ("relaxation", "inversion") and \
+                self.expect != "visible":
+            raise ConfigurationError(
+                f"metric {self.name!r}: violation "
+                f"{self.violation!r} is computed over the view "
+                "itself; set expect='visible'"
+            )
+
+    @property
+    def needs_arbitration(self) -> bool:
+        """True when the value depends on the final write order.
+
+        Arbitration ranks are total-order positions over *all* of a
+        test's logged writes, so the streaming evaluator defers these
+        specs to test close; ``missing`` specs are final the moment
+        the read arrives (per-agent prefix property).
+        """
+        return self.violation in ("relaxation", "inversion")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One violating read: who, when (reference time), how bad."""
+
+    agent: str
+    time: float
+    value: int
+    details: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """One metric folded over one test's reads."""
+
+    metric: str
+    value: int
+    samples: tuple[MetricSample, ...] = ()
+
+
+@dataclass(frozen=True)
+class Arbitration:
+    """Total order over a test's logged writes.
+
+    ``order`` holds message ids sorted by ``(corrected invocation,
+    recording index)``; ``rank`` maps each id to its position.  Ids a
+    read observed but no agent logged (pre-existing content, probe
+    artifacts) are simply absent — both evaluators skip them, so
+    batch and streaming agree on which views count.
+    """
+
+    order: tuple[str, ...]
+    rank: Mapping[str, int]
+
+    @classmethod
+    def from_keyed(
+        cls, keyed: list[tuple[float, int, str]]
+    ) -> "Arbitration":
+        """Build from ``(corrected_invoke, seq, message_id)`` triples."""
+        order = tuple(mid for _, _, mid in sorted(keyed))
+        return cls(order=order,
+                   rank={mid: i for i, mid in enumerate(order)})
+
+
+@dataclass(frozen=True)
+class ReadContext:
+    """Everything a spec may consult about one read.
+
+    ``own_completed`` is in the agent's session order (local
+    invocation, ties by recording index) and ``seen_before`` is the
+    unordered union of earlier views — exactly the inputs the legacy
+    read-your-writes / monotonic-reads checkers derive, so the spec
+    re-expressions inherit their verdicts.
+    """
+
+    agent: str
+    time: float
+    observed: tuple[str, ...]
+    own_completed: tuple[str, ...] = ()
+    seen_before: frozenset[str] = frozenset()
+
+
+def evaluate_read(
+    spec: MetricSpec, ctx: ReadContext, arbitration: Arbitration,
+) -> tuple[int, dict]:
+    """Value one read under one spec.  Pure; shared by both evaluators.
+
+    Returns ``(value, details)``; ``details`` is non-empty only for
+    nonzero values and uses the same key vocabulary as the legacy
+    checkers (``missing``/``observed``) plus the relation-layer keys
+    (``frontier``/``skipped``/``inverted``).
+    """
+    if spec.violation == "missing":
+        visible = set(ctx.observed)
+        if spec.expect == "own_completed":
+            missing = tuple(m for m in ctx.own_completed
+                            if m not in visible)
+        else:
+            missing = tuple(sorted(m for m in ctx.seen_before
+                                   if m not in visible))
+        if not missing:
+            return 0, {}
+        return len(missing), {"missing": missing,
+                              "observed": ctx.observed}
+    ranked = [m for m in ctx.observed if m in arbitration.rank]
+    if spec.violation == "relaxation":
+        if not ranked:
+            return 0, {}
+        frontier = max(arbitration.rank[m] for m in ranked)
+        visible = set(ctx.observed)
+        skipped = tuple(m for m in arbitration.order[:frontier]
+                        if m not in visible)
+        if not skipped:
+            return 0, {}
+        return len(skipped), {
+            "frontier": arbitration.order[frontier],
+            "skipped": skipped,
+        }
+    # inversion: visible pairs whose view order contradicts arbitration.
+    inverted = tuple(
+        (earlier, later)
+        for i, earlier in enumerate(ranked)
+        for later in ranked[i + 1:]
+        if arbitration.rank[earlier] > arbitration.rank[later]
+    )
+    if not inverted:
+        return 0, {}
+    return len(inverted), {"inverted": inverted}
+
+
+def aggregate(spec: MetricSpec, samples: list[MetricSample]) -> int:
+    """Fold per-read samples (all nonzero) into the test-level value."""
+    if spec.measure == "count":
+        return len(samples)
+    if spec.measure == "sum":
+        return sum(sample.value for sample in samples)
+    return max((sample.value for sample in samples), default=0)

@@ -514,7 +514,7 @@ def scenario_from_mapping(data: Any, source: str) -> ScenarioSpec:
     _check_keys(
         data,
         ("scenario", "service", "workload", "nemesis", "policy",
-         "calibrate"),
+         "calibrate", "metrics"),
         source, "top level",
     )
     if "scenario" not in data:
@@ -545,6 +545,8 @@ def scenario_from_mapping(data: Any, source: str) -> ScenarioSpec:
         nemeses=_nemesis_specs(data.get("nemesis"), source),
         policy=_policy_spec(data.get("policy"), source),
         calibration=_calibration_spec(data.get("calibrate"), source),
+        metrics=_str_tuple(data, "metrics", source,
+                           "top level") or (),
     )
 
 

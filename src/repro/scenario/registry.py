@@ -58,7 +58,9 @@ def register_scenario(spec: ScenarioSpec,
             existing.digest() != spec.digest():
         raise ConfigurationError(
             f"scenario {spec.name!r} is already registered with "
-            "different content; pass replace=True to override"
+            f"different content (registered digest "
+            f"{existing.digest()}, offered digest {spec.digest()}); "
+            "pass replace=True to override"
         )
     _REGISTRY[spec.name] = spec
     return spec
@@ -207,6 +209,10 @@ def scenario_config(spec: ScenarioSpec,
         updates["role_order"] = workload.role_order
     if workload.mask_sessions is not None:
         updates["mask_sessions"] = workload.mask_sessions
+    # A --metrics flag (base config) wins over the file's list, the
+    # same precedence service_params gets.
+    if spec.metrics and not base.metrics:
+        updates["metrics"] = spec.metrics
     return dataclasses.replace(base, **updates)
 
 

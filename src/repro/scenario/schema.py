@@ -297,8 +297,18 @@ class ScenarioSpec:
     nemeses: tuple[NemesisSpec, ...] = ()
     policy: PolicySpec | None = None
     calibration: CalibrationSpec | None = None
+    #: Relation-layer consistency metrics to evaluate per test, by
+    #: registry name (:mod:`repro.relations.registry`); lowered onto
+    #: ``CampaignConfig.metrics`` so every runner surface (``run``,
+    #: ``fleet``, ``stream``) computes them.
+    metrics: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.metrics:
+            object.__setattr__(self, "metrics", tuple(self.metrics))
+            from repro.relations.registry import resolve_metrics
+
+            resolve_metrics(self.metrics)
         if self.version != SCHEMA_VERSION:
             raise ConfigurationError(
                 f"scenario.schema_version {self.version!r} is not "

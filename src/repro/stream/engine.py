@@ -100,7 +100,8 @@ class StreamEngine:
 
     def __init__(self, horizon: int | None = DEFAULT_HORIZON,
                  checkers: list[StreamingChecker] | None = None,
-                 obs: ObsContext | None = None):
+                 obs: ObsContext | None = None,
+                 metrics: tuple = ()):
         #: Optional observability context.  Updated only at test
         #: closure, timestamped from the closed test's own stream
         #: times — so exports depend on the operation stream alone,
@@ -108,6 +109,18 @@ class StreamEngine:
         self.obs = obs
         self.checkers = (checkers if checkers is not None
                          else default_streaming_checkers())
+        #: Optional relation-layer metric evaluator: ``metrics`` is a
+        #: tuple of resolved :class:`repro.relations.spec.MetricSpec`
+        #: objects; results ride each closed test's record exactly as
+        #: the batch path's do (imported lazily so the common
+        #: metric-free path never touches the package).
+        self.metric_evaluator = None
+        if metrics:
+            from repro.relations.streaming import (
+                StreamingMetricEvaluator,
+            )
+
+            self.metric_evaluator = StreamingMetricEvaluator(metrics)
         self.content_windows = streaming_content_windows()
         self.order_windows = streaming_order_windows()
         self._counters: dict[str, _TestCounters] = {}
@@ -132,6 +145,8 @@ class StreamEngine:
         )
         for checker in self.checkers:
             checker.open_test(meta)
+        if self.metric_evaluator is not None:
+            self.metric_evaluator.open_test(meta)
         self.content_windows.open_test(meta)
         self.order_windows.open_test(meta)
 
@@ -151,6 +166,8 @@ class StreamEngine:
         observations: list[AnomalyObservation] = []
         for checker in self.checkers:
             observations.extend(checker.observe(meta, sop))
+        if self.metric_evaluator is not None:
+            self.metric_evaluator.observe(meta, sop)
         events = list(self.content_windows.observe(meta, sop))
         events.extend(self.order_windows.observe(meta, sop))
         self.live_observations += len(observations)
@@ -173,6 +190,9 @@ class StreamEngine:
             meta.test_id, meta.service, meta.test_type, meta.agents,
             observations,
         )
+        metric_results: tuple = ()
+        if self.metric_evaluator is not None:
+            metric_results = self.metric_evaluator.close_test(meta)
         content, _ = self.content_windows.close_test(meta)
         order, _ = self.order_windows.close_test(meta)
         duration = 0.0
@@ -189,6 +209,7 @@ class StreamEngine:
             writes_per_agent=dict(counters.writes),
             duration=duration,
             trace=trace,
+            metrics=metric_results,
         )
         self.results.append(record)
         self.tests_closed += 1
@@ -210,6 +231,15 @@ class StreamEngine:
             metrics.gauge("stream.open_tests").set(
                 self.open_tests, at=at
             )
+            for result in metric_results:
+                metrics.counter(
+                    "relations.samples_total",
+                    service=meta.service, metric=result.metric,
+                ).inc(len(result.samples), at=at)
+                metrics.counter(
+                    "relations.value_total",
+                    service=meta.service, metric=result.metric,
+                ).inc(result.value, at=at)
         return record
 
     # -- telemetry ----------------------------------------------------
@@ -223,6 +253,8 @@ class StreamEngine:
         total = sum(c.state_size() for c in self.checkers)
         total += self.content_windows.state_size()
         total += self.order_windows.state_size()
+        if self.metric_evaluator is not None:
+            total += self.metric_evaluator.state_size()
         for counters in self._counters.values():
             total += len(counters.reads) + len(counters.writes)
         for record in self.results:
@@ -230,6 +262,8 @@ class StreamEngine:
                 len(obs_list)
                 for obs_list in record.report.observations.values()
             )
+            total += sum(len(result.samples)
+                         for result in record.metrics)
         return total
 
     def stats(self) -> dict[str, object]:

@@ -70,7 +70,12 @@ def run_stream_shard(job: ShardJob,
     the engine keeps a minimal eviction horizon; its state is the live
     checkers' only.
     """
-    engine = StreamEngine(horizon=1)
+    metric_specs: tuple = ()
+    if job.config.metrics:
+        from repro.relations.registry import resolve_metrics
+
+        metric_specs = resolve_metrics(job.config.metrics)
+    engine = StreamEngine(horizon=1, metrics=metric_specs)
     ingest = OpIngest(engine)
     if on_test is not None:
         ingest.on_record = (

@@ -87,7 +87,7 @@ def record_mismatches(expected: TestRecord,
     """Field-level diffs between two distilled test records."""
     mismatches: list[str] = []
     for name in ("test_id", "test_type", "reads_per_agent",
-                 "writes_per_agent", "duration"):
+                 "writes_per_agent", "duration", "metrics"):
         left, right = getattr(expected, name), getattr(actual, name)
         if left != right:
             mismatches.append(f"{name}: {left!r} != {right!r}")
@@ -122,11 +122,21 @@ def record_mismatches(expected: TestRecord,
     return mismatches
 
 
-def verify_trace(trace: TestTrace) -> list[str]:
-    """All parity violations for one trace; empty list = parity."""
+def verify_trace(trace: TestTrace, metrics: tuple = ()) -> list[str]:
+    """All parity violations for one trace; empty list = parity.
+
+    ``metrics`` (resolved :class:`repro.relations.spec.MetricSpec`
+    objects) extends the proof to the relation layer: the engine's
+    streaming metric results must equal the batch evaluator's, field
+    for field, via the record comparison.
+    """
     mismatches = checker_mismatches(trace)
-    engine = StreamEngine(horizon=1)
+    engine = StreamEngine(horizon=1, metrics=metrics)
     actual = replay_trace(trace, engine)
-    expected = analyze_trace(trace)
+    expected = analyze_trace(trace, metrics=metrics)
     mismatches.extend(record_mismatches(expected, actual))
+    if metrics:
+        from repro.relations.parity import metric_mismatches
+
+        mismatches.extend(metric_mismatches(trace, metrics))
     return mismatches

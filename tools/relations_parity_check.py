@@ -1,0 +1,118 @@
+"""CI gate: spec-defined metrics are one value, however computed.
+
+Three escalating checks over the relation layer
+(:mod:`repro.relations`):
+
+1. **Streaming parity** — for every kept trace of a multi-service
+   campaign sweep, the bounded-memory streaming evaluator's metric
+   results equal the batch evaluator's element for element (values,
+   samples, details), and the evaluator drains to zero retained
+   state.
+2. **Legacy equivalence** — the paper predicates re-expressed as
+   metric specs (``read_your_writes``, ``monotonic_reads``) flag
+   exactly the reads the original §IV checkers flag, on every trace.
+3. **Fleet byte-identity** — a fleet with metrics enabled merges to
+   the same golden-signature digest serial and on four workers, so
+   metric results never perturb the deterministic record bytes.
+
+    python tools/relations_parity_check.py [num_tests] [seed]
+
+Exit code 0 on parity, 1 with a diagnostic on any mismatch.
+"""
+
+import sys
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.methodology import CampaignConfig, run_campaign
+from repro.relations import (
+    legacy_verdict_mismatches,
+    metric_mismatches,
+    resolve_metrics,
+)
+from repro.relations.registry import metric_names
+
+__all__ = ["check_streaming_parity", "check_legacy_equivalence",
+           "check_fleet_identity", "main"]
+
+SERVICES = ("blogger", "googleplus", "facebook_feed", "quorum_kv")
+
+
+def _campaign_traces(num_tests, seed):
+    for service in SERVICES:
+        result = run_campaign(service, CampaignConfig(
+            num_tests=num_tests, seed=seed, keep_traces=True,
+        ))
+        for record in result.records:
+            yield record.test_id, record.trace
+
+
+def check_streaming_parity(num_tests, seed, failures):
+    specs = resolve_metrics(metric_names())
+    checked = 0
+    for test_id, trace in _campaign_traces(num_tests, seed):
+        checked += 1
+        for mismatch in metric_mismatches(trace, specs):
+            failures.append(f"{test_id}: {mismatch}")
+    return checked
+
+
+def check_legacy_equivalence(num_tests, seed, failures):
+    checked = 0
+    for test_id, trace in _campaign_traces(num_tests, seed + 1):
+        checked += 1
+        for mismatch in legacy_verdict_mismatches(trace):
+            failures.append(f"{test_id}: {mismatch}")
+    return checked
+
+
+def check_fleet_identity(num_tests, seed, failures):
+    spec = FleetSpec(
+        services=("facebook_feed", "quorum_kv"),
+        base_config=CampaignConfig(num_tests=num_tests, seed=seed,
+                                   metrics=metric_names()),
+        seeds=(seed, seed + 1),
+    )
+    serial = run_fleet(spec, jobs=1)
+    parallel = run_fleet(spec, jobs=4)
+    if serial.signature() != parallel.signature():
+        failures.append(
+            f"signature mismatch: serial {serial.signature()} "
+            f"!= 4-worker {parallel.signature()}"
+        )
+    carried = sum(
+        1 for result in parallel.results
+        for record in result.records if record.metrics
+    )
+    if carried == 0:
+        failures.append(
+            "no fleet record carried metric results despite "
+            "metrics being configured"
+        )
+    return spec.total_shards, serial.signature()
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else 3
+    seed = int(args[1]) if len(args) > 1 else 11
+
+    failures = []
+    streamed = check_streaming_parity(num_tests, seed, failures)
+    legacy = check_legacy_equivalence(num_tests, seed, failures)
+    shards, signature = check_fleet_identity(num_tests, seed,
+                                             failures)
+
+    if failures:
+        print(f"relations parity check FAILED ({streamed} traces):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"relations parity check passed: streaming == batch on "
+          f"{streamed} traces, specs == legacy checkers on {legacy} "
+          f"traces, serial == 4-worker over {shards} shards "
+          f"(signature {signature[:16]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
