@@ -27,6 +27,7 @@ from repro.services import SERVICE_CLASSES
 from repro.services.base import OnlineService, SessionRoutes
 from repro.webapi import (
     RateLimit,
+    Router,
     ServiceEndpoint,
     SlidingWindowRateLimiter,
 )
@@ -63,6 +64,9 @@ class StickyCacheService(OnlineService):
         #: client -> ordered list of its own writes (the session cache).
         self._session_cache: dict[str, list[str]] = {}
         self._place("sticky-api", OREGON)
+        router = Router()
+        router.add("POST", POSTS_PATH, self._handle_post)
+        router.add("GET", POSTS_PATH, self._handle_list)
         self._endpoint = ServiceEndpoint(
             sim, network, "sticky-api",
             accounts=self._accounts,
@@ -71,9 +75,8 @@ class StickyCacheService(OnlineService):
                 now_fn=lambda: sim.now,
             ),
             rng=rng.child("sticky-endpoint"),
+            router=router,
         )
-        self._endpoint.route("POST", POSTS_PATH, self._handle_post)
-        self._endpoint.route("GET", POSTS_PATH, self._handle_list)
 
     def _home_for(self, user_id):
         return ("sticky-dc-eu" if user_id == "ireland"

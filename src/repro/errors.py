@@ -21,6 +21,7 @@ __all__ = [
     "RateLimitExceededError",
     "AuthenticationError",
     "InvalidRequestError",
+    "NotFoundError",
     "ConfigurationError",
     "AnalysisError",
     "FleetError",
@@ -100,6 +101,17 @@ class InvalidRequestError(ServiceError):
     """The request was malformed or referenced an unknown object (HTTP 400)."""
 
     status_code = 400
+
+
+class NotFoundError(ServiceError):
+    """The request referenced an object that does not exist (HTTP 404).
+
+    Raised by the campaign service when a hunt id or artifact name
+    does not resolve; distinct from :class:`InvalidRequestError`
+    because the request itself is well-formed.
+    """
+
+    status_code = 404
 
 
 class ConfigurationError(ReproError):

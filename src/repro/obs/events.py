@@ -37,6 +37,11 @@ __all__ = [
     "ShardCompleted",
     "ShardRetried",
     "ShardSkipped",
+    "HuntEvent",
+    "HuntSubmitted",
+    "HuntStateChanged",
+    "HuntShardCompleted",
+    "HuntShardRetried",
     "EventCallback",
     "render_event",
 ]
@@ -170,6 +175,60 @@ class ShardSkipped(ShardEvent):
     reason: str = "complete in store"
 
 
+# -- Campaign-service (hunt) telemetry ----------------------------------
+
+
+@dataclass(frozen=True)
+class HuntEvent(ObsEvent):
+    """Base class of the campaign service's lifecycle events.
+
+    The serving layer (:mod:`repro.serve`) both forwards these to
+    ``on_event`` consumers and appends their JSONL rendering to the
+    hunt's ``events.jsonl`` feed — the same records the HTTP event
+    endpoint pages out.
+    """
+
+    hunt_id: str
+
+
+@dataclass(frozen=True)
+class HuntSubmitted(HuntEvent):
+    """A hunt entered the queue."""
+
+    services: tuple[str, ...] = ()
+    shards: int = 0
+
+
+@dataclass(frozen=True)
+class HuntStateChanged(HuntEvent):
+    """A hunt moved between lifecycle states."""
+
+    previous: str = ""
+    status: str = ""
+    #: The merged golden signature, on the transition to "done".
+    signature: str | None = None
+    #: Failure detail, on the transition to "failed".
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class HuntShardCompleted(HuntEvent):
+    """One shard of a hunt finished and persisted."""
+
+    shard_id: str = ""
+    done: int = 0
+    total: int = 0
+
+
+@dataclass(frozen=True)
+class HuntShardRetried(HuntEvent):
+    """A shard attempt died environmentally and was re-queued."""
+
+    shard_id: str = ""
+    attempt: int = 1
+    reason: str = ""
+
+
 EventCallback = Callable[[FleetEvent], None]
 
 
@@ -210,4 +269,22 @@ def render_event(event: FleetEvent) -> str | None:
     if isinstance(event, FleetCompleted):
         return (f"fleet: done ({event.executed} executed, "
                 f"{event.skipped} skipped, {event.retries} retries)")
+    if isinstance(event, HuntSubmitted):
+        services = ",".join(event.services)
+        return (f"hunt {event.hunt_id}: submitted ({services}, "
+                f"{event.shards} shards)")
+    if isinstance(event, HuntStateChanged):
+        detail = ""
+        if event.signature:
+            detail = f" signature={event.signature[:12]}..."
+        elif event.error:
+            detail = f" ({event.error.splitlines()[0]})"
+        return (f"hunt {event.hunt_id}: {event.previous} -> "
+                f"{event.status}{detail}")
+    if isinstance(event, HuntShardCompleted):
+        return (f"hunt {event.hunt_id}: shard {event.shard_id} done "
+                f"[{event.done}/{event.total}]")
+    if isinstance(event, HuntShardRetried):
+        return (f"hunt {event.hunt_id}: shard {event.shard_id} "
+                f"retrying (attempt {event.attempt} {event.reason})")
     return None

@@ -42,6 +42,7 @@ from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["GossipServiceParams", "GossipScenarioService",
            "EVENTS_PATH"]
@@ -107,26 +108,28 @@ class GossipScenarioService(OnlineService):
         for region_name in self._regions:
             api_host = f"{spec.name}-api-{region_name}"
             self._place(api_host, REGION_BY_NAME[region_name])
-            endpoint = ServiceEndpoint(
-                sim, network, api_host,
-                accounts=self._accounts,
-                rate_limiter=rate_limiter,
-                rng=rng.child(f"endpoint.{api_host}"),
-            )
             node = self._node_by_region[region_name]
-            endpoint.route(
+            router = Router()
+            router.add(
                 "POST", EVENTS_PATH,
                 self._make_post_handler(node),
                 processing_delay_median=(
                     self._params.write_processing_median
                 ),
             )
-            endpoint.route(
+            router.add(
                 "GET", EVENTS_PATH,
                 self._make_list_handler(node),
                 processing_delay_median=(
                     self._params.read_processing_median
                 ),
+            )
+            ServiceEndpoint(
+                sim, network, api_host,
+                accounts=self._accounts,
+                rate_limiter=rate_limiter,
+                rng=rng.child(f"endpoint.{api_host}"),
+                router=router,
             )
             self._api_by_region[region_name] = api_host
 

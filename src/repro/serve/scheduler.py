@@ -1,0 +1,420 @@
+"""Work-stealing shard scheduling across concurrent hunts.
+
+The fleet executor runs *one* spec's shards over a pool.  A campaign
+service has many hunts in flight at once, with skewed shard counts —
+one hunt with dozens of shards next to several one-shard hunts — and a
+naive per-hunt dispatch (drain hunt A, then hunt B, ...) leaves most
+of the pool idle every time a small hunt reaches the barrier.  This
+module schedules *across* hunts:
+
+* every hunt keeps its own pending deque (FIFO in spec merge order);
+* each worker slot has a hunt *affinity* — it keeps drawing from the
+  hunt it last served, so a hunt's shards cluster on warm workers;
+* a worker whose hunt runs dry **steals** from the hunt with the most
+  shards remaining, keeping every core busy until the global queue is
+  empty.
+
+``policy="sequential"`` disables stealing and dispatch interleaving —
+hunts run strictly one after another — and exists as the benchmark
+baseline (``BENCH_serve.json`` compares the two on a skewed mix).
+
+Determinism: scheduling moves shards between workers and reorders
+*execution*, never *output*.  Shards are pure functions of their job;
+results merge by shard index; completed shards persist through each
+hunt's own :class:`~repro.fleet.store.ArtifactStore`.  A hunt executed
+here is byte-identical to the same spec under ``run_fleet`` — the
+parity gate (``tools/serve_parity_check.py``) holds the scheduler to
+that.
+
+Failure policy mirrors the fleet executor: a worker *crash or timeout*
+is environmental and retried within a bounded budget; an exception
+raised inside a campaign is deterministic, so it fails the hunt
+immediately (only that hunt — the pool keeps serving the others).
+
+This is the serving shell: it runs on the host, outside any
+simulation, and is allowed wall-clock time (``repro.lint`` scope
+waiver for ``repro.serve``) because its timing affects only when a
+shard executes, never what it computes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.fleet.digest import fleet_signature
+from repro.fleet.executor import (
+    DEFAULT_MAX_RETRIES,
+    ShardRunner,
+    _mp_context,
+    _records_to_jsonable,
+    _result_from_records,
+    _shard_worker,
+    execute_shard,
+)
+from repro.fleet.spec import ShardJob
+from repro.fleet.store import ArtifactStore
+from repro.methodology.runner import CampaignResult
+from repro.obs.events import (
+    HuntShardCompleted,
+    HuntShardRetried,
+    ObsEvent,
+)
+
+__all__ = ["HuntRun", "HuntOutcome", "run_hunts", "SCHEDULER_POLICIES"]
+
+SCHEDULER_POLICIES = ("stealing", "sequential")
+
+#: Control verdict for one hunt, polled between dispatches.
+ControlFn = Callable[[str], str]
+
+EventFn = Callable[[ObsEvent], None]
+
+
+@dataclass
+class HuntRun:
+    """One hunt's scheduling input: its jobs and its artifact store."""
+
+    hunt_id: str
+    jobs: tuple[ShardJob, ...]
+    store: ArtifactStore | None = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+
+    # -- filled by the scheduler ----------------------------------------
+    queue: deque = field(default_factory=deque, repr=False)
+    results: dict = field(default_factory=dict, repr=False)
+    skipped: tuple[str, ...] = ()
+    running: int = 0
+    retries: int = 0
+    halt: str | None = None  # "paused" | "cancelled" | error text
+
+
+@dataclass(frozen=True)
+class HuntOutcome:
+    """Where one hunt ended up after a scheduling pass."""
+
+    hunt_id: str
+    #: "done" | "paused" | "cancelled" | "failed"
+    status: str
+    #: Results in spec merge order; complete only when status=="done".
+    results: tuple[CampaignResult, ...] = ()
+    skipped: tuple[str, ...] = ()
+    retries: int = 0
+    error: str | None = None
+
+    def signature(self) -> str | None:
+        """The merged golden signature (done hunts only)."""
+        if self.status != "done":
+            return None
+        return fleet_signature(list(self.results))
+
+
+def _resume(run: HuntRun) -> None:
+    """Load digest-valid completed shards; queue the rest (FIFO)."""
+    skipped = []
+    for job in run.jobs:
+        if run.store is not None and \
+                run.store.shard_state(job.shard_id) == "complete":
+            run.results[job.index] = _result_from_records(
+                job, run.store.load_shard_records(job.shard_id),
+                obs=run.store.load_shard_obs(job.shard_id),
+            )
+            skipped.append(job.shard_id)
+        else:
+            run.queue.append((job, 1))
+    run.skipped = tuple(skipped)
+
+
+def _complete(run: HuntRun, job: ShardJob, result: CampaignResult,
+              jsonable: list | None, emit: EventFn) -> None:
+    if run.store is not None:
+        run.store.write_shard(
+            job, jsonable if jsonable is not None
+            else _records_to_jsonable(result),
+            obs=result.obs,
+        )
+    run.results[job.index] = result
+    emit(HuntShardCompleted(
+        hunt_id=run.hunt_id, shard_id=job.shard_id,
+        done=len(run.results), total=len(run.jobs),
+    ))
+
+
+def _outcome(run: HuntRun) -> HuntOutcome:
+    if run.halt in ("paused", "cancelled"):
+        return HuntOutcome(hunt_id=run.hunt_id, status=run.halt,
+                           skipped=run.skipped, retries=run.retries)
+    if run.halt is not None:
+        return HuntOutcome(hunt_id=run.hunt_id, status="failed",
+                           skipped=run.skipped, retries=run.retries,
+                           error=run.halt)
+    return HuntOutcome(
+        hunt_id=run.hunt_id, status="done",
+        results=tuple(run.results[job.index] for job in run.jobs),
+        skipped=run.skipped, retries=run.retries,
+    )
+
+
+def _dispatchable(run: HuntRun) -> bool:
+    return bool(run.queue) and run.halt is None
+
+
+def run_hunts(runs: list[HuntRun], *,
+              workers: int = 1,
+              policy: str = "stealing",
+              shard_runner: ShardRunner | None = None,
+              shard_timeout: float | None = None,
+              control: ControlFn | None = None,
+              on_event: EventFn | None = None) -> list[HuntOutcome]:
+    """Drain every hunt's shards over one worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool width.  1 executes in-process (no worker processes), the
+        serial reference path; >= 2 is process-per-shard.
+    policy:
+        ``"stealing"`` (default) interleaves hunts and steals from the
+        largest backlog; ``"sequential"`` drains hunts strictly one at
+        a time (the benchmark baseline).
+    shard_runner:
+        Override of :func:`~repro.fleet.executor.execute_shard`
+        (crash-injection in tests, sleep shards in benchmarks).
+    shard_timeout:
+        Wall-clock budget per shard attempt (workers >= 2 only).
+    control:
+        ``hunt_id -> "run" | "pause" | "cancel"``, polled between
+        dispatches — the API's pause/cancel reach a running pass here.
+        Pausing parks the hunt's queued shards (in-flight shards
+        finish and persist); cancelling discards them.
+    on_event:
+        Receives :class:`~repro.obs.events.HuntShardCompleted` /
+        :class:`~repro.obs.events.HuntShardRetried` telemetry.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if policy not in SCHEDULER_POLICIES:
+        raise ConfigurationError(
+            f"unknown scheduler policy {policy!r} "
+            f"(expected one of {SCHEDULER_POLICIES})"
+        )
+    runner = shard_runner or execute_shard
+    emit = on_event or (lambda event: None)
+    verdict = control or (lambda hunt_id: "run")
+
+    for run in runs:
+        _resume(run)
+
+    def apply_control() -> None:
+        for run in runs:
+            if run.halt is not None:
+                continue
+            decision = verdict(run.hunt_id)
+            if decision == "pause" and run.queue:
+                run.halt = "paused"
+            elif decision == "cancel":
+                run.queue.clear()
+                run.halt = "cancelled"
+
+    if workers == 1:
+        _run_inline(runs, policy, runner, emit, apply_control)
+    else:
+        _run_pool(runs, workers, policy, runner, emit, apply_control,
+                  shard_timeout)
+    return [_outcome(run) for run in runs]
+
+
+# -- Dispatch policy ----------------------------------------------------
+
+
+def _next_run(runs: list[HuntRun], policy: str,
+              affinity: str | None) -> HuntRun | None:
+    """The hunt the next free worker should draw from.
+
+    Stealing: the affinity hunt while it has work, else the
+    dispatchable hunt with the largest backlog (ties: submission
+    order).  Sequential: the first hunt, in submission order, that is
+    not finished — and only if none before it still has work in
+    flight, preserving the strict one-hunt-at-a-time baseline.
+    """
+    if policy == "sequential":
+        for run in runs:
+            if _dispatchable(run):
+                return run
+            if run.running and run.halt is None:
+                return None  # barrier: earlier hunt still in flight
+        return None
+    if affinity is not None:
+        for run in runs:
+            if run.hunt_id == affinity and _dispatchable(run):
+                return run
+    candidates = [run for run in runs if _dispatchable(run)]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda run: len(run.queue))
+
+
+# -- Inline path (workers == 1) -----------------------------------------
+
+
+def _run_inline(runs: list[HuntRun], policy: str, runner: ShardRunner,
+                emit: EventFn, apply_control) -> None:
+    """In-process execution; campaign exceptions fail just the hunt."""
+    affinity: str | None = None
+    while True:
+        apply_control()
+        run = _next_run(runs, policy, affinity)
+        if run is None:
+            return
+        affinity = run.hunt_id
+        job, _ = run.queue.popleft()
+        try:
+            result = runner(job)
+        except Exception as exc:  # noqa: BLE001 - isolate per hunt
+            run.queue.clear()
+            run.halt = (f"shard {job.shard_id!r} campaign failed: "
+                        f"{exc}")
+            continue
+        _complete(run, job, result, None, emit)
+
+
+# -- Pool path (workers >= 2) -------------------------------------------
+
+
+@dataclass
+class _InFlight:
+    run: HuntRun
+    job: ShardJob
+    attempt: int
+    process: object
+    deadline: float | None
+
+
+def _fail_or_retry(entry: _InFlight, reason: str,
+                   emit: EventFn) -> None:
+    run = entry.run
+    if entry.attempt > run.max_retries:
+        run.queue.clear()
+        run.halt = (f"shard {entry.job.shard_id!r} failed after "
+                    f"{entry.attempt} attempts: {reason}")
+        return
+    run.retries += 1
+    emit(HuntShardRetried(
+        hunt_id=run.hunt_id, shard_id=entry.job.shard_id,
+        attempt=entry.attempt + 1, reason=reason,
+    ))
+    run.queue.appendleft((entry.job, entry.attempt + 1))
+
+
+def _run_pool(runs: list[HuntRun], workers: int, policy: str,
+              runner: ShardRunner, emit: EventFn, apply_control,
+              shard_timeout: float | None) -> None:
+    ctx = _mp_context()
+    in_flight: dict[object, _InFlight] = {}
+    #: worker slot -> hunt affinity; slots are just indexes 0..N-1.
+    affinity: dict[int, str | None] = {slot: None
+                                       for slot in range(workers)}
+    free_slots = deque(range(workers))
+    slot_of: dict[object, int] = {}
+
+    def anything_left() -> bool:
+        return bool(in_flight) or any(_dispatchable(run)
+                                      for run in runs)
+
+    try:
+        while anything_left():
+            apply_control()
+            while free_slots:
+                slot = free_slots[0]
+                run = _next_run(runs, policy, affinity[slot])
+                if run is None:
+                    break
+                free_slots.popleft()
+                affinity[slot] = run.hunt_id
+                job, attempt = run.queue.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_shard_worker, args=(send, runner, job),
+                    name=f"hunt-{run.hunt_id}-{job.shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                send.close()
+                deadline = (time.monotonic() + shard_timeout
+                            if shard_timeout is not None else None)
+                in_flight[recv] = _InFlight(run, job, attempt,
+                                            process, deadline)
+                slot_of[recv] = slot
+                run.running += 1
+            if not in_flight:
+                # Nothing running and nothing dispatchable right now
+                # (every remaining hunt halted).
+                break
+
+            poll = 0.5
+            now = time.monotonic()
+            deadlines = [entry.deadline
+                         for entry in in_flight.values()
+                         if entry.deadline is not None]
+            if deadlines:
+                poll = max(0.0, min(poll, min(deadlines) - now))
+            ready = connection.wait(list(in_flight), timeout=poll)
+
+            for conn in ready:
+                entry = in_flight.pop(conn)
+                slot = slot_of.pop(conn)
+                free_slots.append(slot)
+                entry.run.running -= 1
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = None
+                conn.close()
+                entry.process.join()
+                if payload is None:
+                    _fail_or_retry(
+                        entry,
+                        "worker crashed (exit code "
+                        f"{entry.process.exitcode})", emit,
+                    )
+                elif payload["ok"]:
+                    result = _result_from_records(
+                        entry.job, payload["records"],
+                        obs=payload.get("obs"),
+                    )
+                    _complete(entry.run, entry.job, result,
+                              payload["records"], emit)
+                else:
+                    # Deterministic campaign failure: fail the hunt,
+                    # keep the pool serving the others.
+                    entry.run.queue.clear()
+                    entry.run.halt = (
+                        f"shard {entry.job.shard_id!r} campaign "
+                        f"failed:\n{payload['error']}"
+                    )
+
+            now = time.monotonic()
+            for conn, entry in list(in_flight.items()):
+                if entry.deadline is not None and \
+                        now > entry.deadline:
+                    in_flight.pop(conn)
+                    slot = slot_of.pop(conn)
+                    free_slots.append(slot)
+                    entry.run.running -= 1
+                    entry.process.terminate()
+                    entry.process.join()
+                    conn.close()
+                    _fail_or_retry(
+                        entry,
+                        f"timed out after {shard_timeout:.1f}s",
+                        emit,
+                    )
+    finally:
+        for entry in in_flight.values():
+            entry.process.terminate()
+            entry.process.join()
+            entry.run.running -= 1

@@ -1,0 +1,222 @@
+"""Persistent hunt store: lifecycle state + event feed + artifacts.
+
+Layout under one service root::
+
+    <root>/
+      hunts/
+        h0000/
+          hunt.json      # digest-validated HuntState snapshot
+          events.jsonl   # append-only lifecycle feed (cursor = seq)
+          store/         # the hunt's fleet ArtifactStore
+            manifest.json
+            shards/...
+
+The discipline is the :class:`~repro.fleet.store.ArtifactStore`'s,
+applied to serving state:
+
+* ``hunt.json`` embeds the SHA-256 digest of its own canonical-JSON
+  payload; a load recomputes and compares, so truncated writes or
+  tampering classify the hunt as corrupt instead of silently feeding
+  the scheduler a wrong state.  Updates go write-temp-then-rename.
+* ``events.jsonl`` is append-only with a per-hunt monotonic ``seq``;
+  the HTTP event feed pages it with an ``after`` cursor, which is also
+  what makes follow-mode (poll for ``seq > last``) race-free.
+* ``store/`` is a plain fleet artifact store bound to the hunt's
+  ``spec_hash`` — byte-identical to what a direct ``run_fleet`` with
+  the same spec writes, which the parity gate asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import FleetError, NotFoundError
+from repro.fleet.digest import canonical_json
+from repro.fleet.store import ArtifactStore
+from repro.serve.hunt import HuntState
+
+__all__ = ["HuntStore", "HUNT_STORE_VERSION"]
+
+HUNT_STORE_VERSION = 1
+
+HUNT_FILE = "hunt.json"
+EVENTS_FILE = "events.jsonl"
+ARTIFACTS_DIR = "store"
+
+
+def _payload_digest(payload: Mapping[str, Any]) -> str:
+    encoded = canonical_json(payload).encode("utf-8")
+    return f"sha256:{hashlib.sha256(encoded).hexdigest()}"
+
+
+class HuntStore:
+    """Every hunt the campaign service knows about, on disk."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- Paths ----------------------------------------------------------
+
+    @property
+    def hunts_dir(self) -> Path:
+        return self.root / "hunts"
+
+    def hunt_dir(self, hunt_id: str) -> Path:
+        return self.hunts_dir / hunt_id
+
+    def state_path(self, hunt_id: str) -> Path:
+        return self.hunt_dir(hunt_id) / HUNT_FILE
+
+    def events_path(self, hunt_id: str) -> Path:
+        return self.hunt_dir(hunt_id) / EVENTS_FILE
+
+    def artifact_root(self, hunt_id: str) -> Path:
+        return self.hunt_dir(hunt_id) / ARTIFACTS_DIR
+
+    def artifact_store(self, hunt_id: str) -> ArtifactStore:
+        """The hunt's fleet artifact store (shards + manifest)."""
+        return ArtifactStore(self.artifact_root(hunt_id))
+
+    # -- Hunt state -----------------------------------------------------
+
+    def hunt_ids(self) -> list[str]:
+        """Every persisted hunt id, in submission (seq) order."""
+        if not self.hunts_dir.is_dir():
+            return []
+        with_seq = []
+        for entry in sorted(self.hunts_dir.iterdir()):
+            if (entry / HUNT_FILE).is_file():
+                state = self.load(entry.name)
+                with_seq.append((state.seq, state.hunt_id))
+        return [hunt_id for _, hunt_id in sorted(with_seq)]
+
+    def next_seq(self) -> int:
+        """The submission sequence number for a new hunt."""
+        if not self.hunts_dir.is_dir():
+            return 0
+        best = -1
+        for entry in self.hunts_dir.iterdir():
+            if (entry / HUNT_FILE).is_file():
+                best = max(best, self.load(entry.name).seq)
+        return best + 1
+
+    def exists(self, hunt_id: str) -> bool:
+        return self.state_path(hunt_id).is_file()
+
+    def save(self, state: HuntState) -> None:
+        """Persist one hunt's state (write-temp-then-rename)."""
+        payload = state.to_dict()
+        document = {
+            "store_version": HUNT_STORE_VERSION,
+            "digest": _payload_digest(payload),
+            "hunt": payload,
+        }
+        directory = self.hunt_dir(state.hunt_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.state_path(state.hunt_id)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(document, indent=1, sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(temp, path)
+
+    def load(self, hunt_id: str) -> HuntState:
+        """One hunt's digest-validated state."""
+        path = self.state_path(hunt_id)
+        if not path.is_file():
+            raise NotFoundError(f"no hunt {hunt_id!r}")
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise FleetError(
+                f"unreadable hunt state {path}: {exc}"
+            ) from exc
+        version = document.get("store_version")
+        if version != HUNT_STORE_VERSION:
+            raise FleetError(
+                f"unsupported hunt store version {version!r} in "
+                f"{path} (expected {HUNT_STORE_VERSION})"
+            )
+        payload = document.get("hunt", {})
+        recorded = document.get("digest")
+        if recorded != _payload_digest(payload):
+            raise FleetError(
+                f"hunt state {path} failed digest validation "
+                "(truncated write or tampering); refusing to "
+                "schedule from it"
+            )
+        return HuntState.from_dict(payload)
+
+    # -- Event feed -----------------------------------------------------
+
+    def append_event(self, hunt_id: str, event: str,
+                     **fields: Any) -> dict[str, Any]:
+        """Append one lifecycle event; returns the written record.
+
+        ``seq`` is assigned here — strictly monotonic per hunt — so a
+        feed consumer's ``after`` cursor is a plain integer compare.
+        """
+        directory = self.hunt_dir(hunt_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        record = {"seq": self._next_event_seq(hunt_id),
+                  "event": event, "hunt_id": hunt_id, **fields}
+        with self.events_path(hunt_id).open(
+                "a", encoding="utf-8") as handle:
+            handle.write(canonical_json(record) + "\n")
+        return record
+
+    def _next_event_seq(self, hunt_id: str) -> int:
+        path = self.events_path(hunt_id)
+        if not path.is_file():
+            return 0
+        last = -1
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    last = json.loads(line)["seq"]
+        return last + 1
+
+    def events(self, hunt_id: str,
+               after: int = -1) -> Iterator[dict[str, Any]]:
+        """Lifecycle events with ``seq > after``, in order."""
+        if not self.exists(hunt_id):
+            raise NotFoundError(f"no hunt {hunt_id!r}")
+        path = self.events_path(hunt_id)
+        if not path.is_file():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if record["seq"] > after:
+                    yield record
+
+    # -- Artifact browsing ----------------------------------------------
+
+    def artifact_names(self, hunt_id: str) -> list[str]:
+        """Relative paths of every artifact file, sorted."""
+        if not self.exists(hunt_id):
+            raise NotFoundError(f"no hunt {hunt_id!r}")
+        root = self.artifact_root(hunt_id)
+        if not root.is_dir():
+            return []
+        return sorted(
+            str(path.relative_to(root))
+            for path in root.rglob("*") if path.is_file()
+        )
+
+    def artifact_bytes(self, hunt_id: str, name: str) -> bytes:
+        """One artifact file's raw bytes (path-traversal safe)."""
+        root = self.artifact_root(hunt_id).resolve()
+        candidate = (root / name).resolve()
+        if root not in candidate.parents and candidate != root:
+            raise NotFoundError(f"no artifact {name!r}")
+        if not candidate.is_file():
+            raise NotFoundError(f"no artifact {name!r}")
+        return candidate.read_bytes()

@@ -26,6 +26,7 @@ from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account
 from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
+from repro.webapi.router import Router
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
 
@@ -68,6 +69,15 @@ class BloggerService(OnlineService):
         # before the endpoint attaches to the network.
         self._place("blogger-api", VIRGINIA)
         self._endpoint_host = "blogger-api"
+        router = Router()
+        router.add(
+            "POST", POST_PATH, self._handle_post,
+            processing_delay_median=self._params.write_processing_median,
+        )
+        router.add(
+            "GET", POST_PATH, self._handle_list,
+            processing_delay_median=self._params.read_processing_median,
+        )
         self._endpoint = ServiceEndpoint(
             sim, network, self._endpoint_host,
             accounts=self._accounts,
@@ -75,14 +85,7 @@ class BloggerService(OnlineService):
                 self._params.rate_limit, now_fn=lambda: sim.now
             ),
             rng=rng.child("blogger-endpoint"),
-        )
-        self._endpoint.route(
-            "POST", POST_PATH, self._handle_post,
-            processing_delay_median=self._params.write_processing_median,
-        )
-        self._endpoint.route(
-            "GET", POST_PATH, self._handle_list,
-            processing_delay_median=self._params.read_processing_median,
+            router=router,
         )
 
     # -- Route handlers --------------------------------------------------

@@ -33,6 +33,7 @@ from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["FacebookFeedParams", "FacebookFeedService"]
 
@@ -64,6 +65,15 @@ class FacebookFeedService(OnlineService):
             sim, rng.child("fbfeed"), self._params.ranking
         )
         self._place("fbfeed-api", VIRGINIA)
+        router = Router()
+        router.add(
+            "POST", POST_PATH, self._handle_post,
+            processing_delay_median=self._params.write_processing_median,
+        )
+        router.add(
+            "GET", HOME_PATH, self._handle_home,
+            processing_delay_median=self._params.read_processing_median,
+        )
         self._endpoint = ServiceEndpoint(
             sim, network, "fbfeed-api",
             accounts=self._accounts,
@@ -71,14 +81,7 @@ class FacebookFeedService(OnlineService):
                 self._params.rate_limit, now_fn=lambda: sim.now
             ),
             rng=rng.child("fbfeed-endpoint"),
-        )
-        self._endpoint.route(
-            "POST", POST_PATH, self._handle_post,
-            processing_delay_median=self._params.write_processing_median,
-        )
-        self._endpoint.route(
-            "GET", HOME_PATH, self._handle_home,
-            processing_delay_median=self._params.read_processing_median,
+            router=router,
         )
 
     # -- Route handlers --------------------------------------------------

@@ -39,6 +39,7 @@ from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["FacebookGroupParams", "FacebookGroupService"]
 
@@ -85,23 +86,25 @@ class FacebookGroupService(OnlineService):
             (True, self._store.follower, "fbgroup-api-tokyo", TOKYO),
         ):
             self._place(api_host, region)
-            endpoint = ServiceEndpoint(
-                sim, network, api_host,
-                accounts=self._accounts,
-                rate_limiter=rate_limiter,
-                rng=rng.child(f"endpoint.{api_host}"),
-            )
-            endpoint.route(
+            router = Router()
+            router.add(
                 "POST", FEED_PATH, self._make_post_handler(replica),
                 processing_delay_median=(
                     self._params.write_processing_median
                 ),
             )
-            endpoint.route(
+            router.add(
                 "GET", FEED_PATH, self._make_read_handler(replica),
                 processing_delay_median=(
                     self._params.read_processing_median
                 ),
+            )
+            ServiceEndpoint(
+                sim, network, api_host,
+                accounts=self._accounts,
+                rate_limiter=rate_limiter,
+                rng=rng.child(f"endpoint.{api_host}"),
+                router=router,
             )
             self._api_hosts[to_follower] = api_host
 

@@ -32,6 +32,7 @@ from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["GooglePlusParams", "GooglePlusService"]
 
@@ -107,25 +108,27 @@ class GooglePlusService(OnlineService):
             ("gplus-dc-eu", "gplus-api-eu"),
         ):
             self._place(api_host, self._topology.region_of(dc_host))
-            endpoint = ServiceEndpoint(
-                sim, network, api_host,
-                accounts=self._accounts,
-                rate_limiter=rate_limiter,
-                rng=rng.child(f"endpoint.{api_host}"),
-            )
-            endpoint.route(
+            router = Router()
+            router.add(
                 "POST", MOMENTS_PATH,
                 self._make_post_handler(dc_host),
                 processing_delay_median=(
                     self._params.write_processing_median
                 ),
             )
-            endpoint.route(
+            router.add(
                 "GET", MOMENTS_PATH,
                 self._make_list_handler(dc_host),
                 processing_delay_median=(
                     self._params.read_processing_median
                 ),
+            )
+            endpoint = ServiceEndpoint(
+                sim, network, api_host,
+                accounts=self._accounts,
+                rate_limiter=rate_limiter,
+                rng=rng.child(f"endpoint.{api_host}"),
+                router=router,
             )
             self._endpoints[dc_host] = endpoint
 

@@ -36,6 +36,7 @@ from repro.webapi.endpoint import ServiceEndpoint
 from repro.webapi.http import ApiRequest
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["QuorumKvParams", "QuorumKvService"]
 
@@ -90,26 +91,28 @@ class QuorumKvService(OnlineService):
         for region in REPLICA_REGIONS:
             api_host = f"kv-api-{region.name}"
             self._place(api_host, region)
-            endpoint = ServiceEndpoint(
-                sim, network, api_host,
-                accounts=self._accounts,
-                rate_limiter=rate_limiter,
-                rng=rng.child(f"endpoint.{api_host}"),
-            )
             frontend = self._frontend_by_region[region.name]
-            endpoint.route(
+            router = Router()
+            router.add(
                 "POST", EVENTS_PATH,
                 self._make_post_handler(frontend),
                 processing_delay_median=(
                     self._params.write_processing_median
                 ),
             )
-            endpoint.route(
+            router.add(
                 "GET", EVENTS_PATH,
                 self._make_list_handler(frontend),
                 processing_delay_median=(
                     self._params.read_processing_median
                 ),
+            )
+            ServiceEndpoint(
+                sim, network, api_host,
+                accounts=self._accounts,
+                rate_limiter=rate_limiter,
+                rng=rng.child(f"endpoint.{api_host}"),
+                router=router,
             )
             self._api_by_region[region.name] = api_host
 

@@ -33,7 +33,8 @@ from repro.methodology.runner import TestRecord
 from repro.stream.base import StreamOp, TestMeta
 from repro.stream.engine import Emission, StreamEngine
 
-__all__ = ["stream_order", "replay_trace", "OpIngest", "feed_events"]
+__all__ = ["stream_order", "replay_trace", "OpIngest", "feed_events",
+           "tail_jsonl"]
 
 #: Called with (meta, sop, emission) for every op that fired something.
 EmissionCallback = Callable[[TestMeta, StreamOp, Emission], None]
@@ -247,3 +248,30 @@ def feed_events(events: Iterable[dict],
                 f"unknown trace event kind {kind!r}"
             )
         yield event
+
+
+def tail_jsonl(path, offset: int = 0) -> tuple[list[dict], int]:
+    """Complete JSONL records appended to ``path`` since ``offset``.
+
+    The follow-mode file primitive shared by ``stream --follow`` and
+    the campaign service's event feeds: returns the parsed records and
+    the byte offset to resume from.  A trailing line without its
+    newline is a write still in flight — it is *not* returned, and the
+    offset stays before it, so the next call re-reads it whole.  A
+    missing file reads as empty (the producer may not have started).
+    """
+    import json
+    from pathlib import Path
+
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return [], offset
+    chunk = data[offset:]
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    complete = chunk[:end + 1]
+    records = [json.loads(line) for line in complete.splitlines()
+               if line.strip()]
+    return records, offset + end + 1

@@ -17,8 +17,13 @@ from repro.webapi.endpoint import EndpointStats, ServiceEndpoint
 from repro.webapi.http import ApiRequest, ApiResponse, error_response, ok
 from repro.webapi.pagination import DEFAULT_PAGE_SIZE, Page, paginate
 from repro.webapi.ratelimit import RateLimit, SlidingWindowRateLimiter
+from repro.webapi.router import Resource, RouteMatch, Router, RouteSpec
 
 __all__ = [
+    "Router",
+    "RouteSpec",
+    "RouteMatch",
+    "Resource",
     "Page",
     "paginate",
     "DEFAULT_PAGE_SIZE",

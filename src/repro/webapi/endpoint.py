@@ -6,19 +6,33 @@ incoming :class:`~repro.webapi.http.ApiRequest`:
 
 1. authenticates the bearer token,
 2. applies the per-token rate limit,
-3. dispatches the route handler after a sampled *processing delay*
+3. resolves the route on its :class:`~repro.webapi.router.Router` and
+   dispatches the handler after a sampled *processing delay*
    (server-side work: persistence, replication waits, ranking), and
 4. maps :class:`~repro.errors.ServiceError` to its HTTP representation
    instead of letting it crash the exchange.
 
+Routes are declared on a :class:`~repro.webapi.router.Router` passed at
+construction (the declarative surface every service and the campaign
+service share).  The historical imperative ``endpoint.route(...)``
+call survives as a :class:`DeprecationWarning` shim that registers on
+the same router, so older service code keeps working — and keeps its
+:class:`EndpointStats` accounting and golden signatures unchanged,
+because parameter-free routes resolve through the exact same
+``(method, path)`` dict lookup as before.
+
 Route handlers receive ``(request, account)`` and return either a body
 mapping (wrapped into 200) or a :class:`~repro.sim.future.Future` of
 one, for operations that finish later (e.g. a strongly-consistent write
-waiting for backup acks).
+waiting for backup acks).  For parameterized routes the bound path
+parameters are merged into the request's params (path wins on
+collision), so handlers read them with ``request.param("hunt_id")``.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import Any, Callable, Mapping
 
 from repro.errors import InvalidRequestError, ServiceError
@@ -29,6 +43,7 @@ from repro.sim.random_source import RandomSource
 from repro.webapi.auth import Account, AccountRegistry
 from repro.webapi.http import ApiRequest, ApiResponse, error_response, ok
 from repro.webapi.ratelimit import SlidingWindowRateLimiter
+from repro.webapi.router import Router
 
 __all__ = ["ServiceEndpoint", "EndpointStats"]
 
@@ -85,7 +100,8 @@ class ServiceEndpoint:
                  rate_limiter: SlidingWindowRateLimiter | None = None,
                  rng: RandomSource | None = None,
                  processing_delay_median: float = 0.05,
-                 processing_delay_sigma: float = 0.3) -> None:
+                 processing_delay_sigma: float = 0.3,
+                 router: Router | None = None) -> None:
         self._sim = sim
         self._network = network
         self.host = host
@@ -94,28 +110,37 @@ class ServiceEndpoint:
         self._rng = rng
         self._processing_delay_median = processing_delay_median
         self._processing_delay_sigma = processing_delay_sigma
-        self._routes: dict[tuple[str, str],
-                           tuple[RouteHandler, float, float]] = {}
+        self._router = router if router is not None else Router()
         #: Served-traffic counters (requests, status mix, 429s).
         self.stats = EndpointStats()
         network.attach(host, rpc_handler=self._handle_rpc)
 
+    @property
+    def router(self) -> Router:
+        """The route table this endpoint dispatches on."""
+        return self._router
+
     def route(self, method: str, path: str, handler: RouteHandler,
               processing_delay_median: float | None = None,
               processing_delay_sigma: float | None = None) -> None:
-        """Register a handler for ``METHOD path``.
+        """Deprecated: register a handler for ``METHOD path``.
 
-        Per-route processing delays override the endpoint defaults —
-        writes typically cost more server-side work than reads.
+        Imperative registration predates the declarative router;
+        declare routes on a :class:`~repro.webapi.router.Router` and
+        pass it to ``ServiceEndpoint(router=...)`` instead.  The shim
+        registers on the same router, so behaviour (and stats
+        accounting) is identical.
         """
-        self._routes[(method, path)] = (
-            handler,
-            (processing_delay_median
-             if processing_delay_median is not None
-             else self._processing_delay_median),
-            (processing_delay_sigma
-             if processing_delay_sigma is not None
-             else self._processing_delay_sigma),
+        warnings.warn(
+            "ServiceEndpoint.route() is deprecated; declare routes on "
+            "a repro.webapi.Router and pass it to "
+            "ServiceEndpoint(router=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._router.add(
+            method, path, handler,
+            processing_delay_median=processing_delay_median,
+            processing_delay_sigma=processing_delay_sigma,
         )
 
     # -- Request pipeline --------------------------------------------------
@@ -151,12 +176,25 @@ class ServiceEndpoint:
         account = self._accounts.authenticate(request.token)
         if self._rate_limiter is not None:
             self._rate_limiter.check(account.token)
-        entry = self._routes.get((request.method, request.path))
-        if entry is None:
+        match = self._router.resolve(request.method, request.path)
+        if match is None:
             raise InvalidRequestError(
                 f"no route for {request.method} {request.path}"
             )
-        handler, delay_median, delay_sigma = entry
+        spec = match.route
+        handler = spec.handler
+        delay_median = (spec.processing_delay_median
+                        if spec.processing_delay_median is not None
+                        else self._processing_delay_median)
+        delay_sigma = (spec.processing_delay_sigma
+                       if spec.processing_delay_sigma is not None
+                       else self._processing_delay_sigma)
+        if match.path_params:
+            # Path parameters join the query/body params (path wins),
+            # so handlers read them uniformly via request.param().
+            request = replace(request, params={
+                **request.params, **match.path_params,
+            })
         delay = self._sample_processing_delay(request.path, delay_median,
                                               delay_sigma)
         if delay <= 0.0:

@@ -65,12 +65,15 @@ class ApiResponse:
         from repro.errors import (
             AuthenticationError,
             InvalidRequestError,
+            NotFoundError,
             RateLimitExceededError,
         )
 
         message = str(self.body.get("error", f"HTTP {self.status}"))
         if self.status == 401:
             raise AuthenticationError(message)
+        if self.status == 404:
+            raise NotFoundError(message)
         if self.status == 429:
             raise RateLimitExceededError(
                 message, retry_after=self.body.get("retry_after")

@@ -1,0 +1,133 @@
+"""Tests for repro.api: the typed facade mirrored 1:1 by HTTP.
+
+The contract under test: every request object encodes to exactly the
+params its HTTP route accepts, every response object decodes from
+exactly the body the route returns, and the convenience functions work
+against *any* transport — here both the in-process
+:meth:`HuntServer.handle` and a deliberately minimal fake.
+"""
+
+import pytest
+
+from repro.api import (
+    HuntResultsRequest,
+    HuntStatusRequest,
+    HuntStatusResponse,
+    SubmitHuntRequest,
+    SubmitHuntResponse,
+    hunt_results,
+    hunt_status,
+    hunt_status_body,
+    submit_hunt,
+)
+from repro.errors import NotFoundError
+from repro.serve import HuntServer, HuntSpec, HuntState
+
+TINY = dict(num_tests=1, test_types=("test1",))
+
+
+@pytest.fixture
+def server(tmp_path):
+    return HuntServer(tmp_path)
+
+
+@pytest.fixture
+def token(server):
+    return server.issue_token()
+
+
+class TestRequestObjects:
+    def test_submit_request_lowers_to_the_exact_hunt_spec(self):
+        request = SubmitHuntRequest(services=("blogger",), seeds=(7,),
+                                    num_tests=3, test_types=("test1",))
+        spec = request.to_hunt_spec()
+        assert spec == HuntSpec(services=("blogger",), seeds=(7,),
+                                num_tests=3, test_types=("test1",))
+        # Wire params are the spec's JSON encoding, nothing extra.
+        assert request.to_params() == spec.to_dict()
+
+    def test_results_request_omits_absent_cursor(self):
+        assert HuntResultsRequest(hunt_id="h0").to_params() == {
+            "limit": 25
+        }
+        assert HuntResultsRequest(hunt_id="h0", cursor="k",
+                                  limit=5).to_params() == {
+            "limit": 5, "cursor": "k"
+        }
+
+    def test_status_body_matches_response_fields(self):
+        state = HuntState(
+            hunt_id="h0000",
+            spec=HuntSpec(services=("blogger",), **TINY),
+            status="queued", shards_total=1,
+        )
+        body = hunt_status_body(state)
+        decoded = HuntStatusResponse.from_body(body)
+        assert decoded.hunt_id == "h0000"
+        assert decoded.status == "queued"
+        assert decoded.shards_total == 1
+        assert decoded.fleet_signature is None
+        # The body carries exactly the response dataclass's fields.
+        assert set(body) == set(
+            HuntStatusResponse.__dataclass_fields__
+        )
+
+
+class TestAgainstInProcessServer:
+    def test_submit_status_results_round_trip(self, server, token):
+        submitted = submit_hunt(server.handle, SubmitHuntRequest(
+            services=("blogger",), seeds=(1, 2), **TINY,
+        ), token=token)
+        assert isinstance(submitted, SubmitHuntResponse)
+        assert submitted.status == "queued"
+        assert submitted.shards_total == 2
+
+        server.run_pending()
+        status = hunt_status(
+            server.handle, HuntStatusRequest(submitted.hunt_id),
+            token=token,
+        )
+        assert status.status == "done"
+        assert status.shards_done == 2
+        assert status.fleet_signature is not None
+
+        collected = []
+        cursor = None
+        while True:
+            page = hunt_results(server.handle, HuntResultsRequest(
+                hunt_id=submitted.hunt_id, cursor=cursor, limit=1,
+            ), token=token)
+            collected += [item["key"] for item in page.items]
+            if page.is_last:
+                break
+            cursor = page.next_cursor
+        assert len(collected) == len(set(collected)) == 2
+
+    def test_error_statuses_raise_typed_exceptions(self, server,
+                                                   token):
+        with pytest.raises(NotFoundError):
+            hunt_status(server.handle, HuntStatusRequest("h9999"),
+                        token=token)
+
+
+class TestAgainstFakeTransport:
+    def test_transport_sees_the_documented_wire_shape(self):
+        calls = []
+
+        def transport(method, path, params=None, token=None):
+            calls.append((method, path, params, token))
+            from repro.webapi.http import ApiResponse
+
+            return ApiResponse(status=200, body={
+                "hunt_id": "h0007", "status": "queued",
+                "shards_total": 1,
+            })
+
+        response = submit_hunt(transport, SubmitHuntRequest(
+            services=("blogger",), **TINY,
+        ), token="tok")
+        assert response.hunt_id == "h0007"
+        method, path, params, token = calls[0]
+        assert (method, path, token) == ("POST", "/v1/hunts", "tok")
+        assert params == {"services": ["blogger"], "seeds": [0],
+                          "num_tests": 1, "test_types": ["test1"]}

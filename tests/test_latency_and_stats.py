@@ -71,7 +71,7 @@ class TestOperationLatencies:
 class TestEndpointStats:
     def test_requests_and_statuses_counted(self):
         sim, endpoint, client, _ = make_endpoint_world()
-        endpoint.route("GET", "/hello", lambda r, a: {"ok": True})
+        endpoint.router.add("GET", "/hello", lambda r, a: {"ok": True})
         run_and_get(sim, client.get("/hello"))
         run_and_get(sim, client.get("/hello"))
         run_and_get(sim, client.get("/missing"))  # 400
@@ -84,7 +84,7 @@ class TestEndpointStats:
 
     def test_deferred_responses_counted_at_resolution(self):
         sim, endpoint, client, _ = make_endpoint_world(processing=0.2)
-        endpoint.route("GET", "/slow", lambda r, a: {})
+        endpoint.router.add("GET", "/slow", lambda r, a: {})
         future = client.get("/slow")
         assert endpoint.stats.responses_by_status == {}
         run_and_get(sim, future)
@@ -98,7 +98,7 @@ class TestEndpointStats:
             RateLimit(max_requests=1, window=60.0),
             now_fn=lambda: sim.now,
         )
-        endpoint.route("GET", "/hello", lambda r, a: {})
+        endpoint.router.add("GET", "/hello", lambda r, a: {})
         first = client.get("/hello")
         second = client.get("/hello")
         sim.run_until(60.0)

@@ -46,9 +46,34 @@ class TestPaginateHelper:
         page = paginate(grown, cursor="M3", limit=4)
         assert page.items == ("M4", "M5", "M6", "M7")
 
+    def test_cursor_at_final_item_yields_exhausted_empty_page(self):
+        # A client that pages to the end and polls once more gets an
+        # empty terminal page, not a restart.
+        page = paginate(self.ITEMS, cursor="M9", limit=4)
+        assert page.items == ()
+        assert page.is_last
+
+    def test_exhausted_cursor_sees_items_appended_later(self):
+        # The follow-mode idiom: keep the last cursor, poll after the
+        # producer appends, receive only the new tail.
+        page = paginate(self.ITEMS + ["M10", "M11"], cursor="M9",
+                        limit=4)
+        assert page.items == ("M10", "M11")
+        assert page.is_last
+
     def test_invalid_limit_rejected(self):
         with pytest.raises(InvalidRequestError):
             paginate(self.ITEMS, cursor=None, limit=0)
+        with pytest.raises(InvalidRequestError):
+            paginate(self.ITEMS, cursor=None, limit=-3)
+
+    def test_vanished_cursor_restart_is_a_full_first_page(self):
+        # The restart must behave exactly like cursor=None — same
+        # window, same next_cursor — so a degraded client re-converges.
+        fresh = paginate(self.ITEMS, cursor=None, limit=3)
+        degraded = paginate(self.ITEMS, cursor="pruned-away", limit=3)
+        assert degraded == fresh
+        assert degraded.next_cursor == "M2"
 
     def test_page_dataclass(self):
         page = Page(items=("a",), next_cursor=None)

@@ -137,6 +137,58 @@ class TestRateLimiter:
         with pytest.raises(ConfigurationError):
             RateLimit(max_requests=1, window=0.0)
 
+    def test_request_exactly_one_window_old_is_evicted(self):
+        # Eviction is `history[0] <= now - window`: a request made
+        # exactly `window` seconds ago no longer counts.
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")
+        sim.run_until(1.0)
+        limiter.check("tok")  # must not raise
+        assert limiter.remaining("tok") == 0
+
+    def test_request_just_inside_window_still_counts(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")
+        sim.run_until(0.999)
+        with pytest.raises(RateLimitExceededError) as info:
+            limiter.check("tok")
+        # The oldest request expires at t=1.0, i.e. 0.001s from now.
+        assert info.value.retry_after == pytest.approx(0.001)
+
+    def test_denied_request_does_not_consume_budget(self):
+        # A 429'd call must not extend the caller's penalty: only
+        # admitted requests are recorded in the window.
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=1, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")
+        sim.run_until(0.5)
+        with pytest.raises(RateLimitExceededError):
+            limiter.check("tok")
+        sim.run_until(1.1)
+        limiter.check("tok")  # the denied call at 0.5 left no trace
+
+    def test_window_refills_one_slot_at_a_time(self):
+        sim = Simulator()
+        limiter = SlidingWindowRateLimiter(
+            RateLimit(max_requests=2, window=1.0), now_fn=lambda: sim.now
+        )
+        limiter.check("tok")          # t=0.0
+        sim.run_until(0.6)
+        limiter.check("tok")          # t=0.6
+        sim.run_until(1.0)            # t=0.0 slot has just expired
+        limiter.check("tok")          # t=1.0, occupies the freed slot
+        with pytest.raises(RateLimitExceededError) as info:
+            limiter.check("tok")      # t=0.6 slot still live
+        assert info.value.retry_after == pytest.approx(0.6)
+
 
 def make_endpoint_world(processing=0.0):
     sim = Simulator()
@@ -167,7 +219,7 @@ def run_and_get(sim, future):
 class TestEndpointAndClient:
     def test_round_trip(self):
         sim, endpoint, client, _ = make_endpoint_world()
-        endpoint.route("GET", "/hello",
+        endpoint.router.add("GET", "/hello",
                        lambda request, account: {"who": account.user_id})
         response = run_and_get(sim, client.get("/hello"))
         assert response.status == 200
@@ -181,7 +233,7 @@ class TestEndpointAndClient:
 
     def test_bad_token_is_401(self):
         sim, endpoint, client, _ = make_endpoint_world()
-        endpoint.route("GET", "/hello", lambda r, a: {})
+        endpoint.router.add("GET", "/hello", lambda r, a: {})
         bad_client = ApiClient(client._network, "client", "api",
                                "tok_invalid")
         response = run_and_get(sim, bad_client.get("/hello"))
@@ -193,7 +245,7 @@ class TestEndpointAndClient:
             RateLimit(max_requests=1, window=10.0), now_fn=lambda: sim.now
         )
         endpoint._rate_limiter = limiter
-        endpoint.route("GET", "/hello", lambda r, a: {})
+        endpoint.router.add("GET", "/hello", lambda r, a: {})
         first = client.get("/hello")
         second = client.get("/hello")
         sim.run_until(60.0)
@@ -206,14 +258,14 @@ class TestEndpointAndClient:
         def handler(request, account):
             raise InvalidRequestError("nope")
 
-        endpoint.route("GET", "/hello", handler)
+        endpoint.router.add("GET", "/hello", handler)
         response = run_and_get(sim, client.get("/hello"))
         assert response.status == 400
         assert response.body["error"] == "nope"
 
     def test_processing_delay_defers_response(self):
         sim, endpoint, client, _ = make_endpoint_world(processing=0.5)
-        endpoint.route("GET", "/slow", lambda r, a: {})
+        endpoint.router.add("GET", "/slow", lambda r, a: {})
         future = client.get("/slow")
         resolved_at = []
         future.add_callback(lambda f: resolved_at.append(sim.now))
@@ -229,7 +281,7 @@ class TestEndpointAndClient:
             sim.schedule_after(1.0, pending.resolve, {"late": True})
             return pending
 
-        endpoint.route("GET", "/async", handler)
+        endpoint.router.add("GET", "/async", handler)
         response = run_and_get(sim, client.get("/async"))
         assert response.status == 200
         assert response.body == {"late": True}
@@ -244,7 +296,7 @@ class TestEndpointAndClient:
             )
             return pending
 
-        endpoint.route("GET", "/async", handler)
+        endpoint.router.add("GET", "/async", handler)
         response = run_and_get(sim, client.get("/async"))
         assert response.status == 400
 
@@ -256,7 +308,7 @@ class TestEndpointAndClient:
 
     def test_post_requests_work(self):
         sim, endpoint, client, _ = make_endpoint_world()
-        endpoint.route(
+        endpoint.router.add(
             "POST", "/items",
             lambda request, account: {"id": request.require_param("id")},
         )

@@ -106,6 +106,13 @@ def run_benchmark(name: str, out_dir: Path) -> Path | None:
     env["REPRO_BENCH_OUT"] = str(out_dir)
     env.setdefault("REPRO_BENCH_TESTS", BASELINE_BENCH_TESTS)
     module = REPO_ROOT / "benchmarks" / f"test_{name}.py"
+    if not module.is_file():
+        # A benchmark module may carry a longer name than the JSON it
+        # writes (test_serve_scheduler.py -> BENCH_serve.json).
+        candidates = sorted(
+            (REPO_ROOT / "benchmarks").glob(f"test_{name}_*.py"))
+        if candidates:
+            module = candidates[0]
     result = subprocess.run(
         [sys.executable, "-m", "pytest", str(module), "-q",
          "--benchmark-disable-gc"],

@@ -1,0 +1,128 @@
+"""CI gate: a hunt through the campaign service == a direct fleet run.
+
+Drives the full serving stack in-process — submit a hunt over the
+``/v1`` API, drain its JSONL event feed in follow-mode (the poll hook
+runs the scheduling passes on a 2-worker pool), then compare the
+result against a direct ``run_fleet`` of the same spec:
+
+* merged ``fleet_signature`` identical;
+* artifact stores byte-identical, file for file;
+* the event feed is complete and ordered (strictly monotonic ``seq``,
+  one ``shard.completed`` per shard, terminal ``hunt.state``);
+* a second scheduling pass over the finished hunt executes nothing.
+
+    python tools/serve_parity_check.py [num_tests] [seed]
+
+Exit code 0 on parity, 1 with a diagnostic on any mismatch.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import SubmitHuntRequest, submit_hunt
+from repro.fleet import run_fleet
+from repro.serve import HuntServer, HuntSpec, follow_events
+
+__all__ = ["artifact_files", "main"]
+
+SERVICES = ("blogger", "googleplus")
+
+
+def artifact_files(root: Path) -> dict[str, bytes]:
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*")) if path.is_file()
+    }
+
+
+def main():
+    args = sys.argv[1:]
+    num_tests = int(args[0]) if args else 4
+    seed = int(args[1]) if len(args) > 1 else 11
+    spec = HuntSpec(services=SERVICES, seeds=(seed, seed + 1),
+                    num_tests=num_tests, test_types=("test1",))
+    failures = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        server = HuntServer(root / "serve", workers=2)
+        token = server.issue_token()
+        submitted = submit_hunt(server.handle, SubmitHuntRequest(
+            services=spec.services, seeds=spec.seeds,
+            num_tests=spec.num_tests, test_types=spec.test_types,
+        ), token=token)
+
+        events = list(follow_events(server, submitted.hunt_id, token,
+                                    poll=server.run_pending))
+
+        direct = run_fleet(spec.fleet_spec(), jobs=1,
+                           out_dir=root / "direct")
+        state = server.service.hunt(submitted.hunt_id)
+
+        if state.status != "done":
+            failures.append(
+                f"hunt ended {state.status!r}: {state.error}"
+            )
+        if state.fleet_signature != direct.signature():
+            failures.append(
+                f"signature mismatch: direct {direct.signature()} "
+                f"!= hunt {state.fleet_signature}"
+            )
+
+        served = artifact_files(
+            server.service.store.artifact_root(submitted.hunt_id)
+        )
+        expected = artifact_files(root / "direct")
+        if set(served) != set(expected):
+            failures.append(
+                "artifact listing mismatch: "
+                f"only-served={sorted(set(served) - set(expected))} "
+                f"only-direct={sorted(set(expected) - set(served))}"
+            )
+        else:
+            differing = [name for name in sorted(expected)
+                         if served[name] != expected[name]]
+            if differing:
+                failures.append(
+                    f"artifact bytes differ: {differing}"
+                )
+
+        seqs = [event["seq"] for event in events]
+        if seqs != sorted(set(seqs)):
+            failures.append(f"event seq not monotonic: {seqs}")
+        completed = [event for event in events
+                     if event["event"] == "shard.completed"]
+        if len(completed) != spec.total_shards:
+            failures.append(
+                f"feed reported {len(completed)} shard completions, "
+                f"expected {spec.total_shards}"
+            )
+        if not events or events[-1]["event"] != "hunt.state" or \
+                events[-1]["status"] != "done":
+            failures.append(
+                f"feed did not end in a terminal hunt.state: "
+                f"{events[-1] if events else 'empty feed'}"
+            )
+
+        rerun = server.run_pending()
+        if rerun:
+            failures.append(
+                f"pass over a finished hunt ran again: {rerun}"
+            )
+
+    shards = spec.total_shards
+    if failures:
+        print(f"serve parity check FAILED ({shards} shards):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"serve parity check passed: {shards} shards via the hunt "
+          f"API == direct fleet run "
+          f"(signature {direct.signature()[:16]}), "
+          f"{len(events)} feed events, artifacts byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
