@@ -1,0 +1,85 @@
+"""World scaling: the partitioned world vs. its serial replay.
+
+Runs one gossip-archetype world (``examples/scenarios/
+gossip_world.toml``, session count scaled by ``REPRO_BENCH_TESTS``)
+serially and cut into its scenario-declared shards, records both
+wall-clocks and the engine's memory discipline, and asserts the two
+things that must hold **exactly**: the signatures agree byte for byte
+(the world parity contract) and the stream engine never held more
+than one open test however many thousand sessions were in flight (the
+bounded-memory contract that makes 10^5-session campaigns reachable).
+
+Wall-clock is reported, not gated hard: shards here are a placement
+of one simulated timeline, not parallel processes, so the interesting
+perf number is sessions/s throughput — ``tools/bench_check.py`` bands
+it against the checked-in baseline.
+"""
+
+import time
+
+from repro.scenario import load_scenario
+from repro.world import run_world, world_from_scenario
+
+from benchmarks.conftest import BENCH_SEED, bench_num_tests
+
+SCENARIO = "examples/scenarios/gossip_world.toml"
+
+#: Sessions per REPRO_BENCH_TESTS unit: the default 60 benches a
+#: 6,000-session world (~1s/run); the checked-in scenario itself
+#: carries the paper-scale 100,000.
+SESSIONS_PER_UNIT = 100
+
+
+def test_sharded_world_matches_serial_at_scale(
+        benchmark, bench_json_writer):
+    scenario = load_scenario(SCENARIO)
+    sessions = bench_num_tests() * SESSIONS_PER_UNIT
+    sharded_spec = world_from_scenario(scenario, sessions=sessions)
+    serial_spec = world_from_scenario(scenario, sessions=sessions,
+                                      shards=1)
+
+    t0 = time.perf_counter()
+    serial = run_world(serial_spec, seed=BENCH_SEED)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = benchmark.pedantic(
+        lambda: run_world(sharded_spec, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    sharded_s = time.perf_counter() - t0
+
+    ratio = sharded_s / serial_s
+    per_s = sessions / sharded_s
+    print(f"\nWorld scaling ({sessions} sessions, "
+          f"{sharded.replicas} replicas):")
+    print(f"  serial (shards=1)     {serial_s:7.2f}s")
+    print(f"  sharded (shards={sharded.shards})    {sharded_s:7.2f}s  "
+          f"({ratio:.2f}x serial, {per_s:,.0f} sessions/s)")
+    print(f"  peak open state       {sharded.peak_open_state} entries")
+    print(f"  max stream state      {sharded.max_stream_state} test(s)")
+    print(f"  signature             {serial.signature[:16]}")
+
+    path = bench_json_writer("world", {
+        "sessions": sessions,
+        "replicas": sharded.replicas,
+        "shards": sharded.shards,
+        "tests": sharded.tests,
+        "ops": sharded.ops,
+        "bus_messages": sharded.bus_messages,
+        "max_stream_state": sharded.max_stream_state,
+        "peak_open_state": sharded.peak_open_state,
+        "signature": sharded.signature,
+        "serial_seconds": serial_s,
+        "sharded_seconds": sharded_s,
+        "sharded_over_serial": ratio,
+        "sessions_per_s": per_s,
+    })
+    print(f"  written to {path}")
+
+    # The hard contracts: byte-identity across the cut, and bounded
+    # streaming memory whatever the session population.
+    assert sharded.signature == serial.signature
+    assert sharded.anomalies == serial.anomalies
+    assert sharded.max_stream_state == 1
+    assert serial.max_stream_state == 1

@@ -10,6 +10,7 @@ caller on the far side of a socket see the same schema:
 * :class:`SubmitHuntRequest` ``->`` ``POST /v1/hunts``
 * :class:`HuntStatusRequest` ``->`` ``GET /v1/hunts/{hunt_id}``
 * :class:`HuntResultsRequest` ``->`` ``GET /v1/hunts/{hunt_id}/results``
+* :class:`HuntObsRequest` ``->`` ``GET /v1/hunts/{hunt_id}/obs``
 
 The convenience functions (:func:`submit_hunt`, :func:`hunt_status`,
 :func:`hunt_results`) run a request against any *transport*: a
@@ -37,9 +38,12 @@ __all__ = [
     "HuntStatusResponse",
     "HuntResultsRequest",
     "HuntResultsResponse",
+    "HuntObsRequest",
+    "HuntObsResponse",
     "submit_hunt",
     "hunt_status",
     "hunt_results",
+    "hunt_obs",
     "hunt_status_body",
 ]
 
@@ -60,11 +64,15 @@ class SubmitHuntRequest:
     seeds: tuple[int, ...] = (0,)
     num_tests: int = 100
     test_types: tuple[str, ...] = ("test1", "test2")
+    #: Stream shards: per-test window verdicts land in the hunt's
+    #: event feed as each test closes (results stay byte-identical).
+    stream: bool = False
 
     def to_hunt_spec(self) -> HuntSpec:
         return HuntSpec(services=self.services, seeds=self.seeds,
                         num_tests=self.num_tests,
-                        test_types=self.test_types)
+                        test_types=self.test_types,
+                        stream=self.stream)
 
     def to_params(self) -> dict[str, Any]:
         return self.to_hunt_spec().to_dict()
@@ -142,6 +150,39 @@ class HuntResultsResponse:
                    next_cursor=body.get("next_cursor"))
 
 
+@dataclass(frozen=True)
+class HuntObsRequest:
+    """Fetch a hunt's merged obs snapshot:
+    ``GET /v1/hunts/{hunt_id}/obs``."""
+
+    hunt_id: str
+
+
+@dataclass(frozen=True)
+class HuntObsResponse:
+    """The merged telemetry of a hunt's completed shards.
+
+    ``snapshot`` is the :func:`repro.obs.merge_obs_snapshots` merge in
+    spec shard order — byte-identical to running
+    ``repro-consistency obs`` over the hunt's artifact directory.
+    ``shards`` lists what was merged; ``missing`` lists completed
+    shards whose obs export was absent or damaged (telemetry
+    degrades, it never fails the query).
+    """
+
+    hunt_id: str
+    shards: tuple[str, ...]
+    missing: tuple[str, ...]
+    snapshot: Mapping[str, Any]
+
+    @classmethod
+    def from_body(cls, body: Mapping[str, Any]) -> "HuntObsResponse":
+        return cls(hunt_id=body["hunt_id"],
+                   shards=tuple(body["shards"]),
+                   missing=tuple(body["missing"]),
+                   snapshot=body["snapshot"])
+
+
 # -- Transport-generic helpers ------------------------------------------
 
 
@@ -170,5 +211,14 @@ def hunt_results(transport: Transport, request: HuntResultsRequest,
         params=request.to_params(), token=token,
     )
     return HuntResultsResponse.from_body(
+        response.raise_for_status().body
+    )
+
+
+def hunt_obs(transport: Transport, request: HuntObsRequest,
+             token: str | None = None) -> HuntObsResponse:
+    response = transport("GET", f"/v1/hunts/{request.hunt_id}/obs",
+                         token=token)
+    return HuntObsResponse.from_body(
         response.raise_for_status().body
     )

@@ -399,6 +399,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="events: resume the feed after this sequence number",
     )
 
+    world_cmd = sub.add_parser(
+        "world",
+        help="run a scenario as a partitioned simulated world",
+        description=(
+            "Execute a scenario's [topology] through the sharded "
+            "world engine (repro.world): author-sharded sessions and "
+            "replicas on N shards joined by a deterministic message "
+            "bus.  The signature printed is byte-identical for every "
+            "--shards value — the contract tools/world_parity_check.py "
+            "gates in CI."
+        ),
+    )
+    world_cmd.add_argument(
+        "--scenario", required=True, metavar="FILE",
+        help="scenario file with a [topology] table",
+    )
+    world_cmd.add_argument("--seed", type=int, default=0)
+    world_cmd.add_argument(
+        "--shards", type=int, default=None,
+        help="override topology.shards (placement only)",
+    )
+    world_cmd.add_argument(
+        "--lanes", type=int, default=None,
+        help="override execution lanes (placement only)",
+    )
+    world_cmd.add_argument(
+        "--sessions", type=int, default=None,
+        help="override topology.sessions (smoke-scale a big world)",
+    )
+    world_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the full result summary as JSON",
+    )
+
     lint_cmd = sub.add_parser(
         "lint",
         help="run the determinism & trace-safety linter over the tree",
@@ -1088,6 +1122,41 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_world(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.errors import ConfigurationError
+    from repro.scenario import load_scenario
+    from repro.world import run_world, world_from_scenario
+
+    try:
+        scenario = load_scenario(args.scenario)
+        spec = world_from_scenario(
+            scenario, shards=args.shards, lanes=args.lanes,
+            sessions=args.sessions,
+        )
+    except ConfigurationError as exc:
+        print(f"world: {exc}", file=sys.stderr)
+        return 2
+    result = run_world(spec, seed=args.seed)
+    if args.json:
+        print(json_module.dumps(result.summary(), indent=2,
+                                sort_keys=True))
+        return 0
+    print(f"world {scenario.name}: {result.sessions} sessions on "
+          f"{result.replicas} replicas / {result.shards} shard(s)")
+    print(f"  tests={result.tests} ops={result.ops} "
+          f"bus={result.bus_messages} "
+          f"(deferred {result.bus_deferred}) epochs={result.epochs}")
+    anomalies = ", ".join(f"{kind}={count}" for kind, count
+                          in result.anomalies.items()) or "none"
+    print(f"  anomalies: {anomalies}")
+    print(f"  max stream state={result.max_stream_state} "
+          f"peak open state={result.peak_open_state}")
+    print(f"  signature {result.signature}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_from_args
 
@@ -1107,6 +1176,7 @@ def main(argv: list[str] | None = None) -> int:
         "clocksync": _cmd_clocksync,
         "serve": _cmd_serve,
         "hunt": _cmd_hunt,
+        "world": _cmd_world,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

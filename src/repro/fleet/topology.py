@@ -1,0 +1,55 @@
+"""Topology-aware assignment of world shards onto execution lanes.
+
+The fleet engine parallelizes *across* campaigns; the world engine
+partitions *within* one.  This module is the seam between them: given
+the per-shard load of a partitioned world (sessions homed per shard)
+and a worker budget, :func:`plan_assignment` packs shards onto lanes
+with the classic longest-processing-time greedy — deterministically,
+with index tie-breaks, so the same spec always yields the same plan.
+
+The plan is *execution placement only*: the world engine steps lanes
+in plan order at every epoch barrier, and the parity gate
+(``tools/world_parity_check.py``) proves results are invariant to it.
+That is what makes the assignment safe to hand to real fleet workers
+later — placement can chase load balance freely without ever being
+able to change a byte of output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["plan_assignment", "lane_loads"]
+
+
+def plan_assignment(weights: Sequence[float],
+                    lanes: int) -> tuple[tuple[int, ...], ...]:
+    """Pack items with ``weights`` onto ``lanes`` balanced lanes.
+
+    Longest-processing-time greedy: heaviest item first, always onto
+    the currently lightest lane.  All ties break on the lowest index —
+    both the item order (equal weights) and the lane choice (equal
+    loads) — so the plan is a pure function of its arguments.  Returns
+    one tuple of ascending item indexes per lane; trailing lanes may
+    be empty when there are fewer items than lanes.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+    order = sorted(range(len(weights)),
+                   key=lambda index: (-weights[index], index))
+    loads = [0.0] * lanes
+    members: list[list[int]] = [[] for _ in range(lanes)]
+    for index in order:
+        lane = min(range(lanes), key=lambda slot: (loads[slot], slot))
+        loads[lane] += weights[index]
+        members[lane].append(index)
+    return tuple(tuple(sorted(lane)) for lane in members)
+
+
+def lane_loads(weights: Sequence[float],
+               plan: Sequence[Sequence[int]]) -> list[float]:
+    """Total weight per lane under ``plan`` (diagnostics/tests)."""
+    return [sum(weights[index] for index in lane) for lane in plan]

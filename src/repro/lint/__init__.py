@@ -30,6 +30,8 @@ DET005    error      module-level mutable state written from code
                      (``--project``)
 DET006    error      materializing hash order out of unordered
                      collections in aggregation scopes (``--project``)
+DET007    error      cross-shard state access bypassing the world
+                     message bus in world scopes
 PAR001    error      lambdas/closures crossing the process boundary
                      (``--project``)
 TRACE001  error      anomaly checkers mutating their input traces

@@ -9,6 +9,8 @@ Rule modules are grouped by concern:
 * :mod:`repro.lint.checks.api` — API001, explicit public surfaces.
 * :mod:`repro.lint.checks.parity` — DET005/DET006/PAR001/TRACE002,
   the cross-module serial==parallel rules (``--project`` only).
+* :mod:`repro.lint.checks.world` — DET007, the partitioned-world
+  bus-only discipline.
 
 Adding a rule means adding a :class:`~repro.lint.rules.Rule` subclass
 decorated with :func:`~repro.lint.rules.register_rule` in one of these
@@ -16,6 +18,6 @@ modules (or a new module imported here) — the engine, CLI, docs
 listing, and JSON schema pick it up automatically.
 """
 
-from repro.lint.checks import api, determinism, parity, trace_safety
+from repro.lint.checks import api, determinism, parity, trace_safety, world
 
-__all__ = ["determinism", "trace_safety", "api", "parity"]
+__all__ = ["determinism", "trace_safety", "api", "parity", "world"]

@@ -16,6 +16,9 @@ determinism contract:
     entry-points = ["repro.methodology.runner.run_campaign"]
     scope-exempt = ["repro.fleet"]       # inferred-but-excluded, with
                                          # a justification comment
+    world-scopes = ["repro.world"]       # DET007 applies here...
+    world-bus-modules = ["repro.world.bus", "repro.world.engine"]
+                                         # ...except in these modules
     exclude = ["**/_generated_*.py"]     # glob on posix paths
 
 Parsing uses :mod:`tomllib` where available (Python ≥ 3.11).  On 3.10
@@ -49,6 +52,8 @@ __all__ = [
     "DEFAULT_PIPE_BOUNDARIES",
     "DEFAULT_EMIT_METHODS",
     "DEFAULT_SCOPE_EXEMPT",
+    "DEFAULT_WORLD_SCOPES",
+    "DEFAULT_WORLD_BUS_MODULES",
 ]
 
 #: Packages whose behaviour feeds simulated scheduling and trace order;
@@ -136,6 +141,16 @@ DEFAULT_SCOPE_EXEMPT = (
     "repro.fleet",
 )
 
+#: Packages holding partitioned-world state; DET007 (cross-shard state
+#: access bypassing the world message bus) applies here.
+DEFAULT_WORLD_SCOPES = ("repro.world",)
+
+#: Modules *inside* the world scopes that are allowed to reach through
+#: shard collections: the bus itself and the engine that sequences bus
+#: deliveries at the epoch barrier.  Everything else in a world scope
+#: must route cross-shard effects as bus messages.
+DEFAULT_WORLD_BUS_MODULES = ("repro.world.bus", "repro.world.engine")
+
 
 def _in_scope(module: str, scopes: tuple[str, ...]) -> bool:
     return any(
@@ -164,6 +179,10 @@ class LintConfig:
     emit_methods: tuple[str, ...] = DEFAULT_EMIT_METHODS
     #: Modules consciously excluded from the inferred sim scope.
     scope_exempt: tuple[str, ...] = DEFAULT_SCOPE_EXEMPT
+    #: Packages holding partitioned-world state (DET007).
+    world_scopes: tuple[str, ...] = DEFAULT_WORLD_SCOPES
+    #: World modules allowed to reach through shard collections.
+    world_bus_modules: tuple[str, ...] = DEFAULT_WORLD_BUS_MODULES
     #: ``fnmatch`` globs (posix paths) of files to skip entirely.
     exclude: tuple[str, ...] = ()
     #: Where the configuration was read from, for diagnostics.
@@ -188,6 +207,12 @@ class LintConfig:
 
     def in_scope_exempt(self, module: str) -> bool:
         return _in_scope(module, self.scope_exempt)
+
+    def in_world_scope(self, module: str) -> bool:
+        return _in_scope(module, self.world_scopes)
+
+    def is_world_bus_module(self, module: str) -> bool:
+        return _in_scope(module, self.world_bus_modules)
 
     def pipe_boundary(self, resolved: str) -> tuple[str, ...] | None:
         """Boundary spec for an alias-resolved call chain.
@@ -272,6 +297,10 @@ def config_from_table(table: dict, source: str = "<table>") -> LintConfig:
         ),
         emit_methods=strings("emit-methods", DEFAULT_EMIT_METHODS),
         scope_exempt=strings("scope-exempt", DEFAULT_SCOPE_EXEMPT),
+        world_scopes=strings("world-scopes", DEFAULT_WORLD_SCOPES),
+        world_bus_modules=strings(
+            "world-bus-modules", DEFAULT_WORLD_BUS_MODULES
+        ),
         exclude=strings("exclude", ()),
         source=source,
     )

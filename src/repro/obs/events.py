@@ -41,6 +41,7 @@ __all__ = [
     "HuntSubmitted",
     "HuntStateChanged",
     "HuntShardCompleted",
+    "HuntTestChecked",
     "HuntShardRetried",
     "EventCallback",
     "render_event",
@@ -221,6 +222,27 @@ class HuntShardCompleted(HuntEvent):
 
 
 @dataclass(frozen=True)
+class HuntTestChecked(HuntEvent):
+    """One test of a streaming hunt shard was checked online.
+
+    Only hunts submitted with ``stream=True`` emit these — the batch
+    path has nothing to say until a shard completes.  ``windows``
+    carries the per-pair divergence-window verdicts of the test
+    (``{"content": [...], "order": [...]}``, each entry
+    ``{"pair", "intervals", "converged"}``) so a follow-mode consumer
+    of the hunt event feed sees *what diverged and for how long*, not
+    just lifecycle ticks.
+    """
+
+    shard_id: str = ""
+    test_id: str = ""
+    test_index: int = 0
+    anomalies: dict[str, int] | None = None
+    windows: dict[str, list] | None = None
+    state_size: int = 0
+
+
+@dataclass(frozen=True)
 class HuntShardRetried(HuntEvent):
     """A shard attempt died environmentally and was re-queued."""
 
@@ -284,6 +306,22 @@ def render_event(event: FleetEvent) -> str | None:
     if isinstance(event, HuntShardCompleted):
         return (f"hunt {event.hunt_id}: shard {event.shard_id} done "
                 f"[{event.done}/{event.total}]")
+    if isinstance(event, HuntTestChecked):
+        if event.anomalies:
+            found = ", ".join(f"{kind}={count}" for kind, count
+                              in sorted(event.anomalies.items()))
+        else:
+            found = "clean"
+        open_windows = 0
+        if event.windows:
+            open_windows = sum(
+                1 for results in event.windows.values()
+                for result in results if not result["converged"]
+            )
+        diverged = (f", {open_windows} unconverged window(s)"
+                    if open_windows else "")
+        return (f"hunt {event.hunt_id}: {event.shard_id} checked "
+                f"{event.test_id}: {found}{diverged}")
     if isinstance(event, HuntShardRetried):
         return (f"hunt {event.hunt_id}: shard {event.shard_id} "
                 f"retrying (attempt {event.attempt} {event.reason})")

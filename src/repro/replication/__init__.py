@@ -14,8 +14,12 @@
   anti-entropy (the scenario DSL's gossip archetype).
 
 Shared pieces: :class:`VersionedStore` (ordered write store remembering
-past versions) and the ordering policies in
-:mod:`repro.replication.ordering`.
+past versions), the ordering policies in
+:mod:`repro.replication.ordering`, and the stable author -> shard
+placement in :mod:`repro.replication.sharding` that the eventual,
+ranking, and gossip substrates use for author-sharded fanout
+(``author_shards > 1``) and the world engine
+(:mod:`repro.world`) uses for session placement.
 """
 
 from repro.replication.eventual import (
@@ -44,6 +48,7 @@ from repro.replication.quorum import (
     QuorumStore,
 )
 from repro.replication.ranking import RankedFeedParams, RankedFeedStore
+from repro.replication.sharding import AuthorShardMap, author_shard
 from repro.replication.store import StoredWrite, VersionedStore
 from repro.replication.strong import PrimaryBackupGroup
 
@@ -68,4 +73,6 @@ __all__ = [
     "GossipParams",
     "GossipReplica",
     "GossipGroup",
+    "author_shard",
+    "AuthorShardMap",
 ]

@@ -53,6 +53,7 @@ from typing import Callable
 from repro.errors import ConfigurationError
 from repro.net.network import Message, Network
 from repro.replication.ordering import timestamp_key
+from repro.replication.sharding import AuthorShardMap
 from repro.replication.store import VersionedStore
 from repro.sim.event_loop import Simulator
 from repro.sim.random_source import RandomSource
@@ -142,10 +143,19 @@ class EventualParams:
     session_order_violation_prob: float = 0.18
     #: Version/entry retention horizon (seconds).
     retention: float = 600.0
+    #: Author shards for replication fanout.  At the default ``1``
+    #: each author's chunk draws its own straggler fate (the classic
+    #: path; golden signatures depend on it).  When ``> 1`` chunks
+    #: are shipped grouped by author shard and a whole shard's
+    #: pipeline straggles together — fanout pipelines are per shard,
+    #: not per user, in the paper's §II services.
+    author_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.sync_interval <= 0:
             raise ConfigurationError("sync_interval must be positive")
+        if self.author_shards < 1:
+            raise ConfigurationError("author_shards must be >= 1")
         if self.sync_delay_median <= 0:
             raise ConfigurationError("sync_delay_median must be positive")
         if self.backend_count < 1:
@@ -199,6 +209,7 @@ class DatacenterReplica:
         #: anti-entropy so partitions only delay replication.
         self._local_log: list[tuple[str, str, float]] = []
         self._peers: list[str] = []
+        self._shard_map = AuthorShardMap(params.author_shards)
         #: Per-(peer, author) earliest allowed arrival (FIFO shipping
         #: of each author's session).
         self._fifo_floor: dict[tuple[str, str], float] = {}
@@ -251,6 +262,27 @@ class DatacenterReplica:
             chunks = self._chunk_by_author(batch)
             for peer in self._peers:
                 round_delay = self._sample_sync_delay(peer)
+                if self._params.author_shards > 1:
+                    # A whole author shard's pipeline shares one
+                    # straggler fate: the fanout job is per shard.
+                    for shard, members in self._shard_map.group(
+                        chunks, lambda pair: pair[0]
+                    ):
+                        delay = round_delay
+                        stream = (f"straggler.{self.host}->{peer}"
+                                  f".g{shard}")
+                        straggles = self._rng.bernoulli(
+                            stream, self._params.straggler_prob
+                        )
+                        if straggles:
+                            delay += self._rng.exponential(
+                                stream + ".len",
+                                self._params.straggler_extra_mean,
+                            )
+                        for author, chunk in members:
+                            self._ship_chunk(peer, author, chunk,
+                                             delay, straggles)
+                    continue
                 for author, chunk in chunks:
                     delay = round_delay
                     stream = f"straggler.{self.host}->{peer}"

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.replication.ordering import timestamp_key
+from repro.replication.sharding import AuthorShardMap
 from repro.replication.store import VersionedStore
 from repro.sim.event_loop import Simulator
 from repro.sim.random_source import RandomSource
@@ -63,10 +64,19 @@ class RankedFeedParams:
     drop_prob: float = 0.004
     #: Version/entry retention horizon (seconds).
     retention: float = 600.0
+    #: Author shards for the indexing pipeline.  At the default ``1``
+    #: the per-reader FIFO floor is per author (the classic path;
+    #: golden signatures depend on it).  When ``> 1`` the floor is
+    #: kept per author *shard*: one pipeline consumes a whole shard's
+    #: posts in order, so indexing lag on any author in the shard
+    #: also delays its shard-mates — the paper's §II fanout shape.
+    author_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.feed_size < 1:
             raise ConfigurationError("feed_size must be >= 1")
+        if self.author_shards < 1:
+            raise ConfigurationError("author_shards must be >= 1")
         if self.index_lag_median <= 0:
             raise ConfigurationError("index_lag_median must be positive")
         if self.noise_sd < 0:
@@ -99,6 +109,7 @@ class RankedFeedStore:
         self._index_floor: dict[tuple[str, str], float] = {}
         #: Memoized epoch noise, keyed (reader, message_id, epoch).
         self._noise_cache: dict[tuple[str, str, int], float] = {}
+        self._shard_map = AuthorShardMap(params.author_shards)
 
     @property
     def store(self) -> VersionedStore:
@@ -174,8 +185,16 @@ class RankedFeedStore:
             when = origin_ts + lag
             # Per-author FIFO: never indexed before a session
             # predecessor.  (Entries are scanned in timestamp order, so
-            # predecessors are always sampled first.)
-            floor_key = (reader, author)
+            # predecessors are always sampled first.)  With author
+            # sharding the floor is per shard — one pipeline drains a
+            # whole shard's posts in order.
+            if self._params.author_shards > 1:
+                floor_key = (
+                    reader,
+                    f"shard:{self._shard_map.shard_of(author)}",
+                )
+            else:
+                floor_key = (reader, author)
             floor = self._index_floor.get(floor_key, float("-inf"))
             when = max(when, floor)
             self._index_floor[floor_key] = when

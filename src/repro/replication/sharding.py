@@ -1,0 +1,85 @@
+"""Author sharding: stable placement of authors onto replicas/shards.
+
+The services the paper measures (§II) scale by *author sharding*: a
+user's writes are homed on one shard picked by a stable hash of the
+user id, and fanout to followers is batched per author shard.  This
+module is the one place that placement function lives, so the world
+engine (:mod:`repro.world`), the replication substrates and the tests
+all agree on it.
+
+The hash is BLAKE2b over the author string — **never** Python's
+``hash``, which varies per process (``PYTHONHASHSEED``) and would break
+the serial == sharded byte-identity contract.  Crucially the mapping
+depends only on ``(author, shard_count)``: re-partitioning a world onto
+a different number of *physical* shards does not move any author,
+because placement is a function of the logical replica count alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence, TypeVar
+
+__all__ = ["author_shard", "AuthorShardMap"]
+
+ItemT = TypeVar("ItemT")
+
+
+def author_shard(author: str, shards: int) -> int:
+    """The stable home shard of ``author`` among ``shards`` slots."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    digest = hashlib.blake2b(
+        author.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class AuthorShardMap:
+    """A fixed-width author -> shard mapping with grouping helpers.
+
+    Instances are cheap value objects; substrates keep one per group so
+    the shard count is validated once and call sites stay one-liners.
+    """
+
+    __slots__ = ("shards",)
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, author: str) -> int:
+        return author_shard(author, self.shards)
+
+    def group(self, items: Sequence[ItemT],
+              author_of) -> list[tuple[int, list[ItemT]]]:
+        """Group ``items`` by author shard, preserving order within.
+
+        Returns ``(shard, items)`` pairs in ascending shard order —
+        a deterministic batch order regardless of input interleaving
+        across authors.  Empty shards are omitted.
+        """
+        buckets: dict[int, list[ItemT]] = {}
+        for item in items:
+            buckets.setdefault(
+                self.shard_of(author_of(item)), []
+            ).append(item)
+        return [(shard, buckets[shard]) for shard in sorted(buckets)]
+
+    def ring_targets(self, home: int, width: int,
+                     count: int) -> Iterable[int]:
+        """The first ``count`` slots after ``home`` on a ring of ``width``.
+
+        The author-sharded fanout order: dissemination for an author's
+        writes walks the replica ring starting at the author's home, so
+        the relay schedule is a pure function of the author — not of
+        which physical shard happens to host a replica.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for step in range(1, min(count, width - 1) + 1):
+            yield (home + step) % width
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AuthorShardMap(shards={self.shards})"

@@ -48,6 +48,7 @@ from repro.scenario.schema import (
     NemesisSpec,
     ScenarioSpec,
     ServiceSpec,
+    TopologySpec,
     WorkloadSpec,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "NemesisSpec",
     "WorkloadSpec",
     "CalibrationSpec",
+    "TopologySpec",
     "PolicySpec",
     "CircuitOpenError",
     "ResilientSession",

@@ -34,6 +34,7 @@ from repro.scenario.schema import (
     NemesisSpec,
     ScenarioSpec,
     ServiceSpec,
+    TopologySpec,
     WorkloadSpec,
 )
 
@@ -505,6 +506,28 @@ def _calibration_spec(table: Any,
     )
 
 
+def _topology_spec(table: Any, source: str) -> TopologySpec | None:
+    if table is None:
+        return None
+    table = _require_table(table, source, "topology")
+    int_keys = ("shards", "sessions", "replicas", "cohort_size",
+                "lanes", "writes_per_session", "reads_per_session",
+                "fanout")
+    float_keys = ("arrival_window", "think_median", "service_time",
+                  "hop_median", "hop_sigma", "epoch")
+    _check_keys(table, int_keys + float_keys, source, "topology")
+    kwargs: dict[str, Any] = {}
+    for key in int_keys:
+        value = _typed(table, key, (int,), source, "topology")
+        if value is not None:
+            kwargs[key] = value
+    for key in float_keys:
+        value = _float_or_none(table, key, source, "topology")
+        if value is not None:
+            kwargs[key] = value
+    return _build(TopologySpec, source, **kwargs)
+
+
 def scenario_from_mapping(data: Any, source: str) -> ScenarioSpec:
     """Convert a parsed scenario mapping into a validated spec.
 
@@ -514,7 +537,7 @@ def scenario_from_mapping(data: Any, source: str) -> ScenarioSpec:
     _check_keys(
         data,
         ("scenario", "service", "workload", "nemesis", "policy",
-         "calibrate", "metrics"),
+         "calibrate", "metrics", "topology"),
         source, "top level",
     )
     if "scenario" not in data:
@@ -547,6 +570,7 @@ def scenario_from_mapping(data: Any, source: str) -> ScenarioSpec:
         calibration=_calibration_spec(data.get("calibrate"), source),
         metrics=_str_tuple(data, "metrics", source,
                            "top level") or (),
+        topology=_topology_spec(data.get("topology"), source),
     )
 
 

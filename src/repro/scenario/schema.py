@@ -41,6 +41,7 @@ __all__ = [
     "NemesisSpec",
     "WorkloadSpec",
     "CalibrationSpec",
+    "TopologySpec",
     "ScenarioSpec",
 ]
 
@@ -286,6 +287,75 @@ class CalibrationSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Sharded-world scale for a scenario (``[topology]`` table).
+
+    Present only when the scenario should run through the partitioned
+    world engine (:mod:`repro.world`); absent means the classic
+    handful-of-agents campaign.  ``shards`` is *physical placement
+    only* — the world parity gate proves results identical for every
+    value — while the remaining knobs are *logical* world scale and
+    workload shape, which do change behaviour.
+    """
+
+    shards: int = 1
+    sessions: int = 1000
+    replicas: int = 6
+    cohort_size: int = 4
+    lanes: int | None = None
+    writes_per_session: int = 2
+    reads_per_session: int = 2
+    arrival_window: float = 50.0
+    think_median: float = 40.0
+    service_time: float = 2.0
+    hop_median: float = 30.0
+    hop_sigma: float = 0.4
+    fanout: int = 2
+    epoch: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigurationError(
+                "topology.sessions must be >= 1"
+            )
+        if self.replicas < 2:
+            raise ConfigurationError(
+                "topology.replicas must be >= 2"
+            )
+        if not 1 <= self.shards <= self.replicas:
+            raise ConfigurationError(
+                f"topology.shards must be in [1, replicas="
+                f"{self.replicas}], got {self.shards}"
+            )
+        if self.lanes is not None and self.lanes < 1:
+            raise ConfigurationError(
+                "topology.lanes must be >= 1 when set"
+            )
+        if self.cohort_size < 2:
+            raise ConfigurationError(
+                "topology.cohort_size must be >= 2 (a writer plus "
+                "at least one reader)"
+            )
+        if self.writes_per_session < 1 or self.reads_per_session < 1:
+            raise ConfigurationError(
+                "topology sessions need at least one write and one "
+                "read"
+            )
+        if self.fanout < 1:
+            raise ConfigurationError("topology.fanout must be >= 1")
+        if min(self.arrival_window, self.think_median,
+               self.service_time, self.hop_median,
+               self.epoch) <= 0:
+            raise ConfigurationError(
+                "topology time constants must be positive"
+            )
+        if self.hop_sigma < 0:
+            raise ConfigurationError(
+                "topology.hop_sigma must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete declarative scenario."""
 
@@ -302,6 +372,8 @@ class ScenarioSpec:
     #: ``CampaignConfig.metrics`` so every runner surface (``run``,
     #: ``fleet``, ``stream``) computes them.
     metrics: tuple[str, ...] = ()
+    #: Sharded-world scale (``[topology]``); None = classic campaign.
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
         if self.metrics:

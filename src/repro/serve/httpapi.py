@@ -14,6 +14,8 @@ stack in this repository::
     POST /v1/hunts/{hunt_id}/resume     re-queue a paused hunt
     POST /v1/hunts/{hunt_id}/cancel     abandon remaining shards
     GET  /v1/hunts/{hunt_id}/results    test records (cursor-paginated)
+    GET  /v1/hunts/{hunt_id}/obs        merged obs snapshot of the
+                                        completed shards (spec order)
     GET  /v1/hunts/{hunt_id}/events     JSONL event feed (seq cursor;
                                         follow-mode = poll ``after``)
     GET  /v1/hunts/{hunt_id}/artifacts  browse the artifact store
@@ -90,6 +92,8 @@ class HuntApi:
                       name="hunts.cancel"),
             RouteSpec("GET", "/hunts/{hunt_id}/results",
                       self._results, name="hunts.results"),
+            RouteSpec("GET", "/hunts/{hunt_id}/obs", self._obs,
+                      name="hunts.obs"),
             RouteSpec("GET", "/hunts/{hunt_id}/events", self._events,
                       name="hunts.events"),
             RouteSpec("GET", "/hunts/{hunt_id}/artifacts",
@@ -181,6 +185,12 @@ class HuntApi:
         )
         return {"items": [by_key[key] for key in page.items],
                 "next_cursor": page.next_cursor}
+
+    def _obs(self, request: ApiRequest,
+             account: Account) -> dict[str, Any]:
+        return self._service.hunt_obs(
+            request.require_param("hunt_id")
+        )
 
     def _events(self, request: ApiRequest,
                 account: Account) -> dict[str, Any]:

@@ -100,6 +100,12 @@ class HuntSpec:
     seeds: tuple[int, ...] = (0,)
     num_tests: int = 100
     test_types: tuple[str, ...] = ("test1", "test2")
+    #: Execute shards through the streaming engine, emitting a
+    #: per-test event (anomalies + divergence-window verdicts) into
+    #: the hunt's event feed as each test closes.  Execution detail
+    #: only: the fleet spec, artifact store, and merged signature are
+    #: byte-identical either way (the stream parity contract).
+    stream: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "services", tuple(self.services))
@@ -132,6 +138,7 @@ class HuntSpec:
             "seeds": list(self.seeds),
             "num_tests": self.num_tests,
             "test_types": list(self.test_types),
+            "stream": self.stream,
         }
 
     @classmethod
@@ -152,6 +159,7 @@ class HuntSpec:
             num_tests=int(data.get("num_tests", 100)),
             test_types=tuple(data.get("test_types",
                                       ("test1", "test2"))),
+            stream=bool(data.get("stream", False)),
         )
 
 

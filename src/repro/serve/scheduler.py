@@ -62,6 +62,7 @@ from repro.methodology.runner import CampaignResult
 from repro.obs.events import (
     HuntShardCompleted,
     HuntShardRetried,
+    HuntTestChecked,
     ObsEvent,
 )
 
@@ -83,6 +84,12 @@ class HuntRun:
     jobs: tuple[ShardJob, ...]
     store: ArtifactStore | None = None
     max_retries: int = DEFAULT_MAX_RETRIES
+    #: Execute shards through the streaming engine, emitting one
+    #: :class:`~repro.obs.events.HuntTestChecked` (anomalies + window
+    #: verdicts) per closed test.  Ignored when a custom
+    #: ``shard_runner`` is injected — fault-injection runners replace
+    #: the execution path wholesale.
+    stream: bool = False
 
     # -- filled by the scheduler ----------------------------------------
     queue: deque = field(default_factory=deque, repr=False)
@@ -205,6 +212,8 @@ def run_hunts(runs: list[HuntRun], *,
     runner = shard_runner or execute_shard
     emit = on_event or (lambda event: None)
     verdict = control or (lambda hunt_id: "run")
+    #: A custom runner replaces the execution path, stream included.
+    stream_ok = shard_runner is None
 
     for run in runs:
         _resume(run)
@@ -221,10 +230,11 @@ def run_hunts(runs: list[HuntRun], *,
                 run.halt = "cancelled"
 
     if workers == 1:
-        _run_inline(runs, policy, runner, emit, apply_control)
+        _run_inline(runs, policy, runner, emit, apply_control,
+                    stream_ok)
     else:
         _run_pool(runs, workers, policy, runner, emit, apply_control,
-                  shard_timeout)
+                  shard_timeout, stream_ok)
     return [_outcome(run) for run in runs]
 
 
@@ -258,11 +268,118 @@ def _next_run(runs: list[HuntRun], policy: str,
     return max(candidates, key=lambda run: len(run.queue))
 
 
+# -- Streaming verdicts --------------------------------------------------
+
+
+def _window_payload(record) -> dict[str, list[dict]]:
+    """One test record's divergence windows, JSON-safe.
+
+    The per-pair verdicts a follow-mode consumer of the event feed
+    acts on: which agent pairs diverged, over which intervals, and
+    whether they reconverged before the test closed.
+    """
+    def encode(windows) -> list[dict]:
+        return [
+            {"pair": list(result.pair),
+             "intervals": [[start, end]
+                           for start, end in result.intervals],
+             "converged": result.converged}
+            for _pair, result in sorted(windows.items())
+        ]
+    return {"content": encode(record.content_windows),
+            "order": encode(record.order_windows)}
+
+
+def _test_message(record, engine, checked: int) -> dict:
+    """One closed test as an interim wire/event payload."""
+    from repro.fleet.executor import _anomaly_summary
+
+    return {
+        "type": "test",
+        "test_id": record.test_id,
+        "test_index": checked,
+        "anomalies": _anomaly_summary(record),
+        "windows": _window_payload(record),
+        "state_size": engine.state_size(),
+    }
+
+
+def _emit_test_checked(run_id: str, shard_id: str, message: dict,
+                       emit: EventFn) -> None:
+    emit(HuntTestChecked(
+        hunt_id=run_id, shard_id=shard_id,
+        test_id=message["test_id"],
+        test_index=message["test_index"],
+        anomalies=message["anomalies"],
+        windows=message["windows"],
+        state_size=message["state_size"],
+    ))
+
+
+def _run_stream_shard(run: HuntRun, job: ShardJob,
+                      emit: EventFn) -> CampaignResult:
+    """One shard through the streaming engine, verdicts to ``emit``."""
+    from repro.stream.fleet import run_stream_shard
+
+    checked = 0
+
+    def on_test(meta, record, engine):
+        nonlocal checked
+        _emit_test_checked(
+            run.hunt_id, job.shard_id,
+            _test_message(record, engine, checked), emit,
+        )
+        checked += 1
+
+    trace_path = (run.store.trace_path(job.shard_id)
+                  if run.store is not None else None)
+    return run_stream_shard(job, on_test, trace_path)
+
+
+def _stream_hunt_worker(conn, job: ShardJob,
+                        trace_path: str | None) -> None:
+    """Streaming worker: interim per-test messages, then the result.
+
+    Like the fleet executor's ``_stream_shard_worker``, but the
+    interim messages also carry the test's divergence-window verdicts
+    (``windows``) for the hunt event feed.  A broken pipe on an
+    interim send is ignored — the host may have abandoned this
+    attempt, and the final send's failure handling covers the result.
+    """
+    import traceback
+
+    from repro.stream.fleet import run_stream_shard
+
+    checked = 0
+
+    def on_test(meta, record, engine):
+        nonlocal checked
+        message = _test_message(record, engine, checked)
+        checked += 1
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    try:
+        result = run_stream_shard(job, on_test, trace_path)
+        payload = {"ok": True,
+                   "records": _records_to_jsonable(result),
+                   "obs": result.obs}
+    except BaseException:
+        payload = {"ok": False, "error": traceback.format_exc()}
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
 # -- Inline path (workers == 1) -----------------------------------------
 
 
 def _run_inline(runs: list[HuntRun], policy: str, runner: ShardRunner,
-                emit: EventFn, apply_control) -> None:
+                emit: EventFn, apply_control,
+                stream_ok: bool = True) -> None:
     """In-process execution; campaign exceptions fail just the hunt."""
     affinity: str | None = None
     while True:
@@ -273,7 +390,10 @@ def _run_inline(runs: list[HuntRun], policy: str, runner: ShardRunner,
         affinity = run.hunt_id
         job, _ = run.queue.popleft()
         try:
-            result = runner(job)
+            if run.stream and stream_ok:
+                result = _run_stream_shard(run, job, emit)
+            else:
+                result = runner(job)
         except Exception as exc:  # noqa: BLE001 - isolate per hunt
             run.queue.clear()
             run.halt = (f"shard {job.shard_id!r} campaign failed: "
@@ -312,7 +432,8 @@ def _fail_or_retry(entry: _InFlight, reason: str,
 
 def _run_pool(runs: list[HuntRun], workers: int, policy: str,
               runner: ShardRunner, emit: EventFn, apply_control,
-              shard_timeout: float | None) -> None:
+              shard_timeout: float | None,
+              stream_ok: bool = True) -> None:
     ctx = _mp_context()
     in_flight: dict[object, _InFlight] = {}
     #: worker slot -> hunt affinity; slots are just indexes 0..N-1.
@@ -337,8 +458,18 @@ def _run_pool(runs: list[HuntRun], workers: int, policy: str,
                 affinity[slot] = run.hunt_id
                 job, attempt = run.queue.popleft()
                 recv, send = ctx.Pipe(duplex=False)
+                if run.stream and stream_ok:
+                    trace_path = (
+                        str(run.store.trace_path(job.shard_id))
+                        if run.store is not None else None
+                    )
+                    target, args = _stream_hunt_worker, (
+                        send, job, trace_path,
+                    )
+                else:
+                    target, args = _shard_worker, (send, runner, job)
                 process = ctx.Process(
-                    target=_shard_worker, args=(send, runner, job),
+                    target=target, args=args,
                     name=f"hunt-{run.hunt_id}-{job.shard_id}",
                     daemon=True,
                 )
@@ -365,14 +496,22 @@ def _run_pool(runs: list[HuntRun], workers: int, policy: str,
             ready = connection.wait(list(in_flight), timeout=poll)
 
             for conn in ready:
-                entry = in_flight.pop(conn)
-                slot = slot_of.pop(conn)
-                free_slots.append(slot)
-                entry.run.running -= 1
+                entry = in_flight[conn]
                 try:
                     payload = conn.recv()
                 except EOFError:
                     payload = None
+                if isinstance(payload, dict) and \
+                        payload.get("type") == "test":
+                    # Interim verdict; the shard is still running.
+                    _emit_test_checked(entry.run.hunt_id,
+                                       entry.job.shard_id,
+                                       payload, emit)
+                    continue
+                in_flight.pop(conn)
+                slot = slot_of.pop(conn)
+                free_slots.append(slot)
+                entry.run.running -= 1
                 conn.close()
                 entry.process.join()
                 if payload is None:

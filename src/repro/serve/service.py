@@ -29,6 +29,7 @@ from repro.obs.events import (
     HuntShardRetried,
     HuntStateChanged,
     HuntSubmitted,
+    HuntTestChecked,
     ObsEvent,
 )
 from repro.serve.hunt import HuntSpec, HuntState
@@ -169,6 +170,7 @@ class CampaignService:
                     jobs=tuple(spec.jobs()),
                     store=artifact_store,
                     max_retries=self.max_retries,
+                    stream=state.spec.stream,
                 ))
         if not runs:
             return []
@@ -192,6 +194,15 @@ class CampaignService:
                 event.hunt_id, "shard.completed",
                 shard_id=event.shard_id, done=event.done,
                 total=event.total,
+            )
+        elif isinstance(event, HuntTestChecked):
+            self.store.append_event(
+                event.hunt_id, "test.checked",
+                shard_id=event.shard_id, test_id=event.test_id,
+                test_index=event.test_index,
+                anomalies=event.anomalies or {},
+                windows=event.windows or {},
+                state_size=event.state_size,
             )
         elif isinstance(event, HuntShardRetried):
             self.store.append_event(
@@ -253,6 +264,42 @@ class CampaignService:
                     "record": record,
                 })
         return items
+
+    def hunt_obs(self, hunt_id: str) -> dict[str, Any]:
+        """The hunt's merged obs snapshot, in spec merge order.
+
+        Completed shards' obs exports are merged exactly the way
+        ``repro-consistency obs`` merges an artifact directory, so the
+        served snapshot is byte-identical to the offline one.  Shards
+        whose telemetry is absent or damaged are listed in
+        ``missing`` — obs files degrade, they never fail the query.
+        """
+        from repro.obs import merge_obs_snapshots
+
+        state = self.store.load(hunt_id)
+        artifact_store = self.store.artifact_store(hunt_id)
+        merged_ids: list[str] = []
+        missing: list[str] = []
+        snapshots: list[dict] = []
+        # The artifact store is created by the first scheduling pass;
+        # before that every shard is pending and the merge is empty.
+        initialized = artifact_store.manifest_path.is_file()
+        jobs = state.spec.fleet_spec().jobs() if initialized else ()
+        for job in jobs:
+            if artifact_store.shard_state(job.shard_id) != "complete":
+                continue
+            snapshot = artifact_store.load_shard_obs(job.shard_id)
+            if snapshot is None:
+                missing.append(job.shard_id)
+                continue
+            merged_ids.append(job.shard_id)
+            snapshots.append(snapshot)
+        return {
+            "hunt_id": hunt_id,
+            "shards": merged_ids,
+            "missing": missing,
+            "snapshot": merge_obs_snapshots(snapshots),
+        }
 
     def events(self, hunt_id: str,
                after: int = -1) -> Iterator[dict[str, Any]]:

@@ -180,6 +180,16 @@ class Simulator:
         finally:
             self._running = False
 
+    def next_event_time(self) -> float | None:
+        """Time of the earliest live pending event, or ``None`` if idle.
+
+        The public peek used by epoch-barrier drivers (the sharded
+        world engine) to skip empty epochs: the next barrier is placed
+        just past the earliest event across every shard's simulator
+        instead of grinding through quiet quanta one by one.
+        """
+        return self._peek_next_time()
+
     def _peek_next_time(self) -> float | None:
         """Time of the next live event, discarding cancelled heads."""
         while self._heap:

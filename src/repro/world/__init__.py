@@ -1,0 +1,44 @@
+"""A partitioned simulated world for million-session campaigns.
+
+The paper's subjects serve millions of concurrent sessions; this
+package is how the reproduction reaches that scale inside one
+scenario.  A world is split into N shards, each owning an
+author-sharded slice of sessions and replicas, connected by a
+deterministic cross-shard message bus whose lamport-style
+``(time, origin, seq)`` total order makes serial and sharded
+execution byte-identical — the contract CI enforces through
+``tools/world_parity_check.py``.
+
+Layering:
+
+* :mod:`repro.world.spec` — the frozen description of a world
+  (scale, placement, workload, propagation, partition nemeses);
+* :mod:`repro.world.bus` — the total-ordered message bus; the *only*
+  channel between replicas (lint rule DET007 rejects bypasses);
+* :mod:`repro.world.buffers` — columnar ``__slots__`` per-cohort op
+  buffers, materialized to trace objects only at flush;
+* :mod:`repro.world.model` — replicas: feeds, cohort assembly,
+  author-sharded rumor relay, state retirement;
+* :mod:`repro.world.engine` — the epoch-barrier driver flushing
+  retired cohorts through one bounded-memory stream engine.
+"""
+
+from repro.world.buffers import CohortBuffer
+from repro.world.bus import BusMessage, WorldBus
+from repro.world.engine import WorldEngine, WorldResult, run_world
+from repro.world.model import WorldReplica
+from repro.world.scenario import world_from_scenario
+from repro.world.spec import WorldPartition, WorldSpec
+
+__all__ = [
+    "world_from_scenario",
+    "WorldSpec",
+    "WorldPartition",
+    "WorldBus",
+    "BusMessage",
+    "CohortBuffer",
+    "WorldReplica",
+    "WorldEngine",
+    "WorldResult",
+    "run_world",
+]

@@ -1,0 +1,133 @@
+"""The deterministic cross-shard message bus.
+
+Every inter-replica interaction in a sharded world — rumor relays, read
+records shipped to a cohort's home replica, retirement broadcasts —
+crosses this bus, *including* traffic between replicas that happen to
+share a shard.  That uniformity is the whole trick: delivery order is
+fixed by a lamport-style total key
+
+    (deliver_time, origin_replica, per-origin sequence)
+
+whose components are all functions of logical replica indices and
+simulated times, never of the physical shard cut.  At each epoch
+barrier the engine drains due messages in that key order and schedules
+them into the target shards' simulators, so a world run on one shard
+and the same world run on N shards execute byte-identical histories.
+
+Two invariants make the barrier sound:
+
+* **Floor latency** — no message travels faster than one epoch
+  (``deliver >= send + epoch``), so anything sent during epoch *k*
+  lands strictly after the *k* -> *k+1* barrier and is sequenced there.
+* **Deterministic deferral** — a partition nemesis never drops a
+  message; it re-transmits it at heal time with its original latency,
+  keeping delivery a pure function of (endpoints, send time, latency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import SimulationError
+from repro.world.spec import WorldPartition
+
+__all__ = ["BusMessage", "WorldBus"]
+
+
+class BusMessage:
+    """One bus delivery, carrying its total-order key."""
+
+    __slots__ = ("deliver_time", "origin", "seq", "target", "kind",
+                 "payload")
+
+    def __init__(self, deliver_time: float, origin: int, seq: int,
+                 target: int, kind: str, payload: tuple) -> None:
+        self.deliver_time = deliver_time
+        self.origin = origin
+        self.seq = seq
+        self.target = target
+        self.kind = kind
+        self.payload = payload
+
+    @property
+    def key(self) -> tuple[float, int, int]:
+        return (self.deliver_time, self.origin, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BusMessage {self.kind} {self.origin}->{self.target} "
+                f"@{self.deliver_time:.3f} seq={self.seq}>")
+
+
+class WorldBus:
+    """Pending cross-replica messages awaiting an epoch barrier."""
+
+    __slots__ = ("_epoch", "_partitions", "_pending", "_next_seq",
+                 "sent_total", "deferred_total")
+
+    def __init__(self, epoch: float,
+                 partitions: Sequence[WorldPartition] = ()) -> None:
+        if epoch <= 0:
+            raise SimulationError("bus epoch must be positive")
+        self._epoch = epoch
+        self._partitions = tuple(partitions)
+        self._pending: list[BusMessage] = []
+        #: Per-origin monotonic sequence numbers (the lamport tiebreak).
+        self._next_seq: dict[int, int] = {}
+        self.sent_total = 0
+        self.deferred_total = 0
+
+    def send(self, *, origin: int, target: int, send_time: float,
+             latency: float, kind: str, payload: tuple = ()) -> None:
+        """Enqueue a message; delivery honors the floor and partitions."""
+        if origin == target:
+            raise SimulationError(
+                f"replica {origin} sent itself a bus message; local "
+                "state is reached directly, not through the bus"
+            )
+        effective = max(latency, self._epoch)
+        deliver = send_time + effective
+        for partition in self._partitions:
+            if partition.active_at(send_time) and \
+                    partition.crosses(origin, target):
+                # Blocked: retransmitted at heal with original latency.
+                deliver = partition.end + effective
+                self.deferred_total += 1
+                break
+        seq = self._next_seq.get(origin, 0)
+        self._next_seq[origin] = seq + 1
+        self._pending.append(
+            BusMessage(deliver, origin, seq, target, kind, payload)
+        )
+        self.sent_total += 1
+
+    # -- Barrier draining ---------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def earliest(self) -> float | None:
+        """Earliest pending delivery time, or None when drained."""
+        if not self._pending:
+            return None
+        return min(message.deliver_time for message in self._pending)
+
+    def drain_until(self, horizon: float) -> list[BusMessage]:
+        """Messages due at or before ``horizon``, in total-key order."""
+        due: list[BusMessage] = []
+        keep: list[BusMessage] = []
+        for message in self._pending:
+            if message.deliver_time <= horizon:
+                due.append(message)
+            else:
+                keep.append(message)
+        self._pending = keep
+        due.sort(key=lambda message: message.key)
+        return due
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "sent": self.sent_total,
+            "deferred": self.deferred_total,
+            "pending": len(self._pending),
+        }

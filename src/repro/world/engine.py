@@ -1,0 +1,278 @@
+"""The epoch-barrier world engine.
+
+One :class:`WorldEngine` drives a whole partitioned world: every shard
+owns a private :class:`~repro.sim.Simulator`, and the engine alternates
+between letting the shard simulators run one epoch and draining the
+:class:`~repro.world.bus.WorldBus` at the barrier in its lamport total
+order.  The soundness argument, in one paragraph:
+
+    Epoochs are grid-aligned and the bus floor latency equals the
+    epoch, so every message sent inside an epoch is deliverable only
+    *after* the next barrier.  At each barrier the engine sequences all
+    due messages by ``(deliver_time, origin_replica, origin_seq)`` —
+    a key computed from logical replica identities and simulated times
+    only — and schedules them into the target shards in that order.
+    Within an epoch a replica touches nothing but its own state, so a
+    shard's history is independent of which other replicas share its
+    simulator.  Together: the world's observable history is a pure
+    function of (spec-sans-topology, seed), which is exactly the
+    byte-identity contract ``tools/world_parity_check.py`` enforces.
+
+Retired cohorts flush at the barrier too, sorted by
+``(close_time, cohort_id)``, each replayed through one shared
+:class:`~repro.stream.engine.StreamEngine` (horizon 1).  The engine
+therefore holds at most one open streaming test at any instant, no
+matter how many hundred thousand sessions the world carries — the
+stream engine's bounded-memory discipline is what makes the scale
+reachable at all.  Results are distilled on the spot into a running
+signature (the same record encoding as
+:func:`repro.fleet.digest.records_digest`) and aggregate tallies;
+whole records are never accumulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.fleet.digest import canonical_json
+from repro.fleet.topology import plan_assignment
+from repro.io import record_to_dict
+from repro.sim import RandomSource, Simulator
+from repro.stream.engine import StreamEngine
+from repro.stream.ingest import replay_trace
+from repro.world.bus import WorldBus
+from repro.world.model import WorldReplica
+from repro.world.spec import WorldSpec
+
+__all__ = ["WorldResult", "WorldEngine", "run_world"]
+
+
+@dataclass
+class WorldResult:
+    """Distilled outcome of one world run (records never retained)."""
+
+    spec_digest: str
+    seed: int
+    sessions: int
+    replicas: int
+    shards: int
+    #: Execution-lane plan: shard indexes per lane (placement echo).
+    lanes: tuple[tuple[int, ...], ...]
+    tests: int = 0
+    ops: int = 0
+    epochs: int = 0
+    events_processed: int = 0
+    bus_messages: int = 0
+    bus_deferred: int = 0
+    #: Anomaly-kind -> total observations across every cohort.
+    anomalies: dict[str, int] = field(default_factory=dict)
+    #: Running digest over record encodings in flush order — the
+    #: byte-identity witness compared across shard counts.
+    signature: str = ""
+    #: Largest stream-engine state observed (bounded-memory witness).
+    max_stream_state: int = 0
+    #: Largest combined replica open state observed at a barrier.
+    peak_open_state: int = 0
+
+    def summary(self) -> dict:
+        """JSON-safe summary (results/CLI/benchmark payloads)."""
+        return {
+            "spec_digest": self.spec_digest,
+            "seed": self.seed,
+            "sessions": self.sessions,
+            "replicas": self.replicas,
+            "shards": self.shards,
+            "lanes": [list(lane) for lane in self.lanes],
+            "tests": self.tests,
+            "ops": self.ops,
+            "epochs": self.epochs,
+            "events_processed": self.events_processed,
+            "bus_messages": self.bus_messages,
+            "bus_deferred": self.bus_deferred,
+            "anomalies": dict(self.anomalies),
+            "signature": self.signature,
+            "max_stream_state": self.max_stream_state,
+            "peak_open_state": self.peak_open_state,
+        }
+
+
+class WorldEngine:
+    """Run one :class:`WorldSpec` to completion under a seed."""
+
+    def __init__(self, spec: WorldSpec, seed: int = 0,
+                 stream_engine: StreamEngine | None = None) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self._rng = RandomSource(self.seed).child(f"world.{spec.name}")
+        self._bus = WorldBus(spec.epoch, spec.partitions)
+        self._sims = [Simulator() for _ in range(spec.shards)]
+        self._replicas = []
+        for index in range(spec.replicas):
+            sim = self._sims[spec.replica_shard(index)]
+            self._replicas.append(WorldReplica(
+                index, spec, self._bus,
+                self._rng.child(f"replica.{index}"),
+                (lambda hosting=sim: hosting.now),
+            ))
+        self._engine = (stream_engine if stream_engine is not None
+                        else StreamEngine(horizon=1))
+        self._hasher = hashlib.sha256()
+        weights = [0.0] * spec.shards
+        for cohort in range(spec.cohort_count):
+            weights[spec.replica_shard(spec.home_replica(cohort))] += \
+                spec.cohort_sessions(cohort)
+        self._lanes = plan_assignment(
+            weights, spec.lanes if spec.lanes is not None
+            else spec.shards)
+        self.result = WorldResult(
+            spec_digest=spec.digest(), seed=self.seed,
+            sessions=spec.sessions, replicas=spec.replicas,
+            shards=spec.shards, lanes=self._lanes,
+        )
+        self._ran = False
+
+    # -- Session setup -------------------------------------------------
+
+    def _session_times(self, cohort: int, member: int,
+                       count: int) -> tuple[float, ...]:
+        """Precomputed op invoke times for one session.
+
+        Drawn from a per-session ephemeral stream at setup — setup
+        iterates cohorts in one global order whatever the shard cut,
+        so every instant in the world is fixed before anything runs.
+        """
+        spec = self.spec
+        draws = self._rng.ephemeral(f"session.c{cohort}.s{member}")
+        time = draws.uniform(0.0, spec.arrival_window)
+        times = [time]
+        for _ in range(count - 1):
+            time += draws.expovariate(1.0 / spec.think_median)
+            times.append(time)
+        return tuple(times)
+
+    def _setup(self) -> None:
+        spec = self.spec
+        for cohort in range(spec.cohort_count):
+            members = spec.cohort_sessions(cohort)
+            expected = (spec.writes_per_session
+                        + (members - 1) * spec.reads_per_session)
+            home = spec.home_replica(cohort)
+            self._replicas[home].open_cohort(cohort, expected)
+            for member in range(members):
+                if member == 0:
+                    replica_index = home
+                    count = spec.writes_per_session
+                else:
+                    replica_index = spec.reader_replica(cohort, member)
+                    count = spec.reads_per_session
+                times = self._session_times(cohort, member, count)
+                replica = self._replicas[replica_index]
+                sim = self._sims[spec.replica_shard(replica_index)]
+                sim.schedule_at(times[0], self._session_step,
+                                replica, cohort, member, times, 0)
+
+    def _session_step(self, replica: WorldReplica, cohort: int,
+                      member: int, times: tuple[float, ...],
+                      position: int) -> None:
+        invoke = times[position]
+        if member == 0:
+            replica.local_write(cohort, f"s{member}",
+                                f"m{position}", invoke)
+        else:
+            replica.local_read(cohort, f"s{member}", invoke)
+        self.result.ops += 1
+        if position + 1 < len(times):
+            sim = self._sims[self.spec.replica_shard(replica.index)]
+            sim.schedule_at(times[position + 1], self._session_step,
+                            replica, cohort, member, times,
+                            position + 1)
+
+    # -- Barrier loop ---------------------------------------------------
+
+    def run(self) -> WorldResult:
+        if self._ran:
+            raise SimulationError("a WorldEngine instance runs once")
+        self._ran = True
+        self._setup()
+        epoch = self.spec.epoch
+        while True:
+            horizon = self._next_time()
+            if horizon is None:
+                break
+            end = math.ceil(horizon / epoch) * epoch
+            while end < horizon:  # float-grid guard
+                end += epoch
+            for message in self._bus.drain_until(end):
+                replica = self._replicas[message.target]
+                sim = self._sims[
+                    self.spec.replica_shard(message.target)]
+                sim.schedule_at(message.deliver_time,
+                                replica.deliver, message)
+            for lane in self._lanes:
+                for shard_index in lane:
+                    self._sims[shard_index].run_until(end)
+            self._flush_cohorts()
+            self.result.epochs += 1
+        self._flush_cohorts()
+        self._finish()
+        return self.result
+
+    def _next_time(self) -> float | None:
+        """Earliest pending instant across shards and the bus."""
+        times = [time for time in
+                 (sim.next_event_time() for sim in self._sims)
+                 if time is not None]
+        earliest_bus = self._bus.earliest()
+        if earliest_bus is not None:
+            times.append(earliest_bus)
+        return min(times) if times else None
+
+    def _flush_cohorts(self) -> None:
+        closed: list = []
+        for replica in self._replicas:
+            closed.extend(replica.drain_closed())
+        if not closed:
+            return
+        closed.sort(key=lambda item: (item[0], item[1]))
+        spec = self.spec
+        for _close_time, cohort, buffer in closed:
+            trace = buffer.materialize(
+                test_id=f"{spec.name}/c{cohort}", service=spec.name)
+            record = replay_trace(trace, self._engine)
+            self._hasher.update(
+                canonical_json(record_to_dict(record)).encode("utf-8"))
+            self._hasher.update(b"\n")
+            self.result.tests += 1
+            for kind, count in record.report.summary().items():
+                if count:
+                    self.result.anomalies[kind] = \
+                        self.result.anomalies.get(kind, 0) + count
+            self.result.max_stream_state = max(
+                self.result.max_stream_state,
+                self._engine.state_size())
+        self.result.peak_open_state = max(
+            self.result.peak_open_state,
+            sum(replica.state_size() for replica in self._replicas))
+
+    def _finish(self) -> None:
+        result = self.result
+        if result.tests != self.spec.cohort_count:
+            raise SimulationError(
+                f"world drained with {result.tests} of "
+                f"{self.spec.cohort_count} cohorts closed — a session "
+                "stalled or a record was lost"
+            )
+        result.signature = self._hasher.hexdigest()
+        result.events_processed = sum(
+            sim.events_processed for sim in self._sims)
+        result.bus_messages = self._bus.sent_total
+        result.bus_deferred = self._bus.deferred_total
+        result.anomalies = dict(sorted(result.anomalies.items()))
+
+
+def run_world(spec: WorldSpec, seed: int = 0) -> WorldResult:
+    """Convenience: run one world spec under ``seed``."""
+    return WorldEngine(spec, seed).run()

@@ -10,11 +10,13 @@ against *any* transport — here both the in-process
 import pytest
 
 from repro.api import (
+    HuntObsRequest,
     HuntResultsRequest,
     HuntStatusRequest,
     HuntStatusResponse,
     SubmitHuntRequest,
     SubmitHuntResponse,
+    hunt_obs,
     hunt_results,
     hunt_status,
     hunt_status_body,
@@ -103,11 +105,36 @@ class TestAgainstInProcessServer:
             cursor = page.next_cursor
         assert len(collected) == len(set(collected)) == 2
 
+    def test_obs_round_trip_merges_completed_shards(self, server,
+                                                    token):
+        submitted = submit_hunt(server.handle, SubmitHuntRequest(
+            services=("blogger",), seeds=(1, 2), **TINY,
+        ), token=token)
+        # Before any shard completes the snapshot is the empty merge.
+        empty = hunt_obs(server.handle,
+                         HuntObsRequest(submitted.hunt_id),
+                         token=token)
+        assert empty.shards == () and empty.missing == ()
+        assert empty.snapshot["metrics"] == []
+
+        server.run_pending()
+        merged = hunt_obs(server.handle,
+                          HuntObsRequest(submitted.hunt_id),
+                          token=token)
+        assert merged.hunt_id == submitted.hunt_id
+        assert len(merged.shards) == 2 and merged.missing == ()
+        metric_names = {metric["name"]
+                        for metric in merged.snapshot["metrics"]}
+        assert "replication.writes_total" in metric_names
+
     def test_error_statuses_raise_typed_exceptions(self, server,
                                                    token):
         with pytest.raises(NotFoundError):
             hunt_status(server.handle, HuntStatusRequest("h9999"),
                         token=token)
+        with pytest.raises(NotFoundError):
+            hunt_obs(server.handle, HuntObsRequest("h9999"),
+                     token=token)
 
 
 class TestAgainstFakeTransport:
@@ -130,4 +157,5 @@ class TestAgainstFakeTransport:
         method, path, params, token = calls[0]
         assert (method, path, token) == ("POST", "/v1/hunts", "tok")
         assert params == {"services": ["blogger"], "seeds": [0],
-                          "num_tests": 1, "test_types": ["test1"]}
+                          "num_tests": 1, "test_types": ["test1"],
+                          "stream": False}

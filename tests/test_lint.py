@@ -37,7 +37,8 @@ SRC = REPO_ROOT / "src"
 
 #: Rules shipped so far; the registry must contain all of them.
 SHIPPED_RULES = ("DET001", "DET002", "DET003", "DET004", "DET005",
-                 "DET006", "PAR001", "TRACE001", "TRACE002", "API001")
+                 "DET006", "DET007", "PAR001", "TRACE001", "TRACE002",
+                 "API001")
 
 
 def lint_snippet(tmp_path, source, *, filename="mod.py", config=None):
@@ -363,6 +364,88 @@ class TestDET004:
     def test_pyproject_aggregation_scopes_include_stream(self):
         config = load_config(REPO_ROOT / "pyproject.toml")
         assert "repro.stream" in config.aggregation_scopes
+
+
+WORLD_CFG = LintConfig(world_scopes=("mod",),
+                       world_bus_modules=("mod.bus", "mod.engine"))
+
+
+class TestDET007:
+    @pytest.mark.parametrize("reach", [
+        "self._replicas[target].feeds",
+        "replicas[target].deliver(message)",
+        "shards[index].state",
+        "self._sims[j].schedule_at(0.0, work)",
+        "world.shard_map[key].cohorts.pop(0)",
+    ])
+    def test_flags_reach_through_shard_collections(self, tmp_path,
+                                                   reach):
+        kept, _ = lint_snippet(tmp_path, f"""\
+            __all__ = ["Replica"]
+
+
+            class Replica:
+                def poke(self, target, index, j, key, message, work,
+                         replicas, shards, world):
+                    return {reach}
+        """, config=WORLD_CFG)
+        det = [f for f in kept if f.code == "DET007"]
+        assert len(det) == 1
+        assert det[0].line == 7
+        assert "world bus" in det[0].message
+
+    @pytest.mark.parametrize("clean", [
+        "self.feeds[key].append(message)",   # own state, not a shard
+        "self.bus.send(origin=0, target=1)",  # the sanctioned channel
+        "times[position]",                    # untagged collection
+        "self._replicas[target]",             # bare subscript, no reach
+    ])
+    def test_clean_world_shapes_pass(self, tmp_path, clean):
+        kept, _ = lint_snippet(tmp_path, f"""\
+            __all__ = ["Replica"]
+
+
+            class Replica:
+                def step(self, key, target, position, message, times):
+                    return {clean}
+        """, config=WORLD_CFG)
+        assert "DET007" not in codes(kept)
+
+    def test_bus_modules_exempt(self, tmp_path):
+        source = """\
+            __all__ = ["barrier"]
+
+
+            def barrier(sims, end):
+                for index in range(len(sims)):
+                    sims[index].run_until(end)
+        """
+        kept, _ = lint_snippet(tmp_path, source,
+                               filename="engine.py", config=LintConfig(
+                                   world_scopes=("engine",),
+                                   world_bus_modules=("engine",)))
+        assert "DET007" not in codes(kept)
+        # The same shape outside the bus modules is a finding.
+        kept, _ = lint_snippet(tmp_path, source, config=LintConfig(
+            world_scopes=("mod",)))
+        assert "DET007" in codes(kept)
+
+    def test_out_of_scope_not_flagged(self, tmp_path):
+        kept, _ = lint_snippet(tmp_path, """\
+            __all__ = ["poke"]
+
+
+            def poke(replicas, target):
+                return replicas[target].feeds
+        """)
+        assert "DET007" not in codes(kept)
+
+    def test_pyproject_world_scopes_cover_the_world(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.in_world_scope("repro.world.model")
+        assert config.is_world_bus_module("repro.world.engine")
+        assert config.is_world_bus_module("repro.world.bus")
+        assert not config.is_world_bus_module("repro.world.model")
 
 
 class TestTRACE001:

@@ -1,0 +1,195 @@
+"""Author sharding: the placement map and the substrates' sharded
+fanout paths (``author_shards > 1``).
+
+The default ``author_shards = 1`` paths are pinned byte-for-byte by
+the golden-signature suite; these tests cover the opt-in sharded
+behavior the world engine's §II scale story is built on.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    IRELAND,
+    OREGON,
+    TOKYO,
+    JitterParams,
+    LatencyModel,
+    Network,
+    paper_topology,
+)
+from repro.replication import (
+    AuthorShardMap,
+    EventualGroup,
+    EventualParams,
+    GossipGroup,
+    GossipParams,
+    RankedFeedParams,
+    RankedFeedStore,
+    author_shard,
+)
+from repro.sim import RandomSource, Simulator
+
+
+def same_shard_authors(shards, want=2):
+    """First ``want`` author names that all land on shard 0."""
+    found = []
+    index = 0
+    while len(found) < want:
+        name = f"author-{index}"
+        if author_shard(name, shards) == 0:
+            found.append(name)
+        index += 1
+    return found
+
+
+def make_ring(seed=3):
+    sim = Simulator()
+    topo = paper_topology()
+    for host, region in (
+        ("g-0", OREGON),
+        ("g-1", TOKYO),
+        ("g-2", IRELAND),
+        ("dc-us", OREGON),
+        ("dc-eu", IRELAND),
+    ):
+        topo.place_host(host, region)
+    rng = RandomSource(seed=seed)
+    net = Network(sim, LatencyModel(topo, rng.child("net"),
+                                    JitterParams(sigma=0.1)))
+    return sim, net, rng
+
+
+class TestAuthorShardMap:
+    def test_author_shard_is_stable_and_in_range(self):
+        for shards in (1, 2, 7):
+            for name in ("alice", "bob", "帯域"):
+                shard = author_shard(name, shards)
+                assert 0 <= shard < shards
+                assert shard == author_shard(name, shards)
+
+    def test_author_shard_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            author_shard("alice", 0)
+        with pytest.raises(ValueError):
+            AuthorShardMap(0)
+
+    def test_group_orders_shards_and_preserves_intra_order(self):
+        shard_map = AuthorShardMap(4)
+        items = [("alice", 1), ("bob", 2), ("alice", 3), ("carol", 4)]
+        groups = shard_map.group(items, lambda item: item[0])
+        shards = [shard for shard, _members in groups]
+        assert shards == sorted(shards)
+        flattened = [item for _shard, members in groups
+                     for item in members]
+        assert sorted(flattened, key=lambda item: item[1]) == items
+        for shard, members in groups:
+            positions = [items.index(item) for item in members]
+            assert positions == sorted(positions)
+
+    def test_ring_targets_walk_and_clamp(self):
+        shard_map = AuthorShardMap(2)
+        assert list(shard_map.ring_targets(1, 4, 2)) == [2, 3]
+        assert list(shard_map.ring_targets(3, 4, 9)) == [0, 1, 2]
+        assert list(shard_map.ring_targets(0, 1, 3)) == []
+
+
+class TestShardedGossip:
+    def params(self):
+        return GossipParams(fanout=1, author_shards=3)
+
+    def run_world(self, seed):
+        sim, net, rng = make_ring(seed)
+        hosts = ["g-0", "g-1", "g-2"]
+        group = GossipGroup(sim, net, rng.child("gossip"),
+                            self.params(), hosts)
+        for index, author in enumerate(
+            ("alice", "bob", "carol", "dave")
+        ):
+            group.write_at(hosts[index % 3], f"M{index}", author)
+        sim.run_until(30.0)
+        return tuple(group.read_from(host) for host in hosts)
+
+    def test_sharded_fanout_converges_and_is_deterministic(self):
+        first = self.run_world(seed=11)
+        second = self.run_world(seed=11)
+        assert first == second
+        expected = ("M0", "M1", "M2", "M3")
+        for feed in first:
+            assert feed == expected
+
+    def test_sharded_targets_are_a_pure_ring_walk(self):
+        sim, net, rng = make_ring()
+        group = GossipGroup(sim, net, rng.child("gossip"),
+                            GossipParams(fanout=2, author_shards=4),
+                            ["g-0", "g-1", "g-2"])
+        replica = group.replica("g-0")
+        peers = ["g-1", "g-2"]
+        assert replica._sharded_targets(0) == peers
+        assert replica._sharded_targets(1) == ["g-2", "g-1"]
+        # Shard index wraps modulo the peer count.
+        assert replica._sharded_targets(2) == replica._sharded_targets(0)
+        assert replica._sharded_targets(3) == replica._sharded_targets(1)
+
+    def test_author_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            GossipParams(author_shards=0)
+
+
+class TestShardedEventual:
+    def test_shard_grouped_shipping_replicates_everything(self):
+        sim, net, rng = make_ring(seed=5)
+        params = EventualParams(author_shards=2)
+        group = EventualGroup(sim, net, rng.child("dc"), params,
+                              ["dc-us", "dc-eu"])
+        messages = []
+        for index, author in enumerate(
+            ("alice", "bob", "carol", "dave", "erin")
+        ):
+            message_id = f"W{index}"
+            group.replica("dc-us").accept_write(message_id, author)
+            messages.append(message_id)
+        sim.run_until(60.0)
+        remote = group.replica("dc-eu").store
+        for message_id in messages:
+            assert remote.contains(message_id)
+
+    def test_author_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EventualParams(author_shards=0)
+
+
+class TestShardedRanking:
+    def make_store(self, author_shards):
+        sim = Simulator()
+        rng = RandomSource(seed=9)
+        params = RankedFeedParams(drop_prob=0.0, noise_sd=0.0,
+                                  author_shards=author_shards)
+        return sim, RankedFeedStore(sim, rng, params)
+
+    def test_floor_is_per_shard_when_sharded(self):
+        shards = 2
+        first, second = same_shard_authors(shards)
+        sim, store = self.make_store(shards)
+        store.write(first, "M1")
+        store.write(second, "M2")
+        store.read("reader")
+        assert set(store._index_floor) == {("reader", "shard:0")}
+        # Same pipeline: the shard-mate's post can never be indexed
+        # before its predecessor in the shard.
+        assert (store._visible_at[("M2", "reader")]
+                >= store._visible_at[("M1", "reader")])
+
+    def test_floor_stays_per_author_by_default(self):
+        first, second = same_shard_authors(2)
+        sim, store = self.make_store(1)
+        store.write(first, "M1")
+        store.write(second, "M2")
+        store.read("reader")
+        assert set(store._index_floor) == {
+            ("reader", first), ("reader", second)
+        }
+
+    def test_author_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RankedFeedParams(author_shards=0)

@@ -205,6 +205,37 @@ class TestServiceLifecycle:
             assert service.artifact_bytes(state.hunt_id, name) == \
                 (direct_root / name).read_bytes()
 
+    def test_hunt_obs_matches_the_offline_merge(self, tmp_path):
+        from repro.obs import merge_obs_snapshots
+
+        service = CampaignService(tmp_path)
+        spec = HuntSpec(services=("blogger",), seeds=(1, 2), **TINY)
+        state = service.submit(spec)
+        # Pre-pass: no artifact store yet, so the merge is empty.
+        before = service.hunt_obs(state.hunt_id)
+        assert before["shards"] == [] and before["missing"] == []
+        service.run_pending()
+
+        served = service.hunt_obs(state.hunt_id)
+        artifact_store = service.store.artifact_store(state.hunt_id)
+        jobs = spec.fleet_spec().jobs()
+        offline = merge_obs_snapshots(
+            artifact_store.load_shard_obs(job.shard_id)
+            for job in jobs
+        )
+        assert served["shards"] == [job.shard_id for job in jobs]
+        assert served["missing"] == []
+        # Byte-identical to merging the artifact directory offline.
+        assert served["snapshot"] == offline
+
+        # A damaged obs export degrades to "missing", never an error.
+        artifact_store.obs_path(jobs[0].shard_id).write_text(
+            "not json", encoding="utf-8"
+        )
+        degraded = service.hunt_obs(state.hunt_id)
+        assert degraded["missing"] == [jobs[0].shard_id]
+        assert degraded["shards"] == [jobs[1].shard_id]
+
     def test_pause_checkpoints_and_resume_completes(self, tmp_path):
         service = CampaignService(tmp_path)
         spec = HuntSpec(services=("blogger",), seeds=(1, 2, 3), **TINY)
@@ -308,6 +339,58 @@ class TestServiceLifecycle:
         assert outcomes[0].skipped == (first_job.shard_id,)
         direct = run_fleet(spec.fleet_spec(), jobs=1)
         assert service.hunt(hunt_id).fleet_signature == \
+            direct.signature()
+
+
+class TestStreamingHunts:
+    def _checked_events(self, service, hunt_id):
+        return [record for record in service.events(hunt_id)
+                if record["event"] == "test.checked"]
+
+    def test_stream_hunt_feeds_window_verdicts(self, tmp_path):
+        spec = HuntSpec(services=("blogger",), seeds=(1,),
+                        stream=True, **TINY)
+        service = CampaignService(tmp_path / "stream")
+        state = service.submit(spec)
+        outcomes = service.run_pending()
+        assert [outcome.status for outcome in outcomes] == ["done"]
+
+        checked = self._checked_events(service, state.hunt_id)
+        assert len(checked) == 1  # num_tests=1, one shard
+        event = checked[0]
+        assert event["shard_id"] and event["test_id"]
+        assert set(event["windows"]) == {"content", "order"}
+        for results in event["windows"].values():
+            for result in results:
+                assert set(result) == {"pair", "intervals",
+                                       "converged"}
+
+        # Streaming is an execution detail: the merged signature is
+        # the batch hunt's, byte for byte.
+        batch = CampaignService(tmp_path / "batch")
+        batch_state = batch.submit(
+            HuntSpec(services=("blogger",), seeds=(1,), **TINY)
+        )
+        batch.run_pending()
+        assert service.hunt(state.hunt_id).fleet_signature == \
+            batch.hunt(batch_state.hunt_id).fleet_signature
+
+    def test_stream_hunt_pool_path_emits_interim_verdicts(
+            self, tmp_path):
+        spec = HuntSpec(services=("blogger",), seeds=(1, 2),
+                        stream=True, **TINY)
+        service = CampaignService(tmp_path, workers=2)
+        state = service.submit(spec)
+        outcomes = service.run_pending()
+        assert [outcome.status for outcome in outcomes] == ["done"]
+
+        checked = self._checked_events(service, state.hunt_id)
+        assert len(checked) == 2  # one per shard at num_tests=1
+        assert {record["shard_id"] for record in checked} == {
+            job.shard_id for job in spec.fleet_spec().jobs()
+        }
+        direct = run_fleet(spec.fleet_spec(), jobs=1)
+        assert service.hunt(state.hunt_id).fleet_signature == \
             direct.signature()
 
 

@@ -1,0 +1,365 @@
+"""Tests for repro.world: the partitioned simulated-world engine.
+
+The load-bearing property throughout is byte-identity across physical
+topology: a world spec run on 1 shard and the same spec run on N
+shards (on any lane packing) must produce identical signatures,
+because every ordering decision keys on logical replica identities and
+simulated times, never on the shard cut.  The suite checks the parts
+(spec placement, bus total order, columnar buffer value-key
+materialization, lane planning) and then the whole — including a
+hypothesis sweep over randomized topologies and a regression for a
+partition nemesis spanning the shard cut.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.fleet.topology import lane_loads, plan_assignment
+from repro.scenario import load_scenario
+from repro.scenario.schema import ServiceSpec
+from repro.sim import Simulator
+from repro.world import (
+    CohortBuffer,
+    WorldBus,
+    WorldPartition,
+    WorldSpec,
+    run_world,
+    world_from_scenario,
+)
+
+SCENARIO = "examples/scenarios/gossip_world.toml"
+
+#: A world small enough to run in milliseconds but big enough that
+#: every cohort spans replicas (and, at shards > 1, the shard cut).
+SMALL = dict(
+    sessions=40, replicas=6, cohort_size=4,
+    writes_per_session=1, reads_per_session=1,
+    arrival_window=30.0, think_median=20.0, hop_median=15.0,
+    epoch=10.0,
+)
+
+
+def small_spec(**overrides) -> WorldSpec:
+    return WorldSpec(name="w", **{**SMALL, **overrides})
+
+
+class TestWorldSpec:
+    def test_rejects_degenerate_scale(self):
+        with pytest.raises(SimulationError):
+            small_spec(sessions=0)
+        with pytest.raises(SimulationError):
+            small_spec(replicas=1)
+        with pytest.raises(SimulationError):
+            small_spec(cohort_size=1)
+        with pytest.raises(SimulationError):
+            small_spec(epoch=0.0)
+        with pytest.raises(SimulationError):
+            small_spec(fanout=0)
+
+    def test_shards_bounded_by_replicas(self):
+        with pytest.raises(SimulationError):
+            small_spec(shards=7)
+        with pytest.raises(SimulationError):
+            small_spec(shards=0)
+        assert small_spec(shards=6).shards == 6
+
+    def test_partition_validation(self):
+        with pytest.raises(SimulationError):
+            WorldPartition(start=5.0, end=5.0, side=(0,))
+        with pytest.raises(SimulationError):
+            WorldPartition(start=0.0, end=10.0, side=())
+        with pytest.raises(SimulationError):
+            small_spec(partitions=(
+                WorldPartition(start=0.0, end=10.0, side=(0, 6)),
+            ))
+        cut = WorldPartition(start=0.0, end=10.0, side=(3, 1, 1))
+        assert cut.side == (1, 3)  # normalized: sorted, deduped
+        assert cut.crosses(1, 2) and not cut.crosses(1, 3)
+        assert cut.active_at(0.0) and not cut.active_at(10.0)
+
+    def test_cohort_arithmetic_covers_every_session(self):
+        spec = small_spec(sessions=10, cohort_size=4)
+        assert spec.cohort_count == 3
+        sizes = [spec.cohort_sessions(c)
+                 for c in range(spec.cohort_count)]
+        assert sizes == [4, 4, 2]
+        assert sum(sizes) == spec.sessions
+
+    def test_readers_never_share_the_writer_replica(self):
+        spec = small_spec()
+        for cohort in range(spec.cohort_count):
+            home = spec.home_replica(cohort)
+            for member in range(1, spec.cohort_sessions(cohort)):
+                assert spec.reader_replica(cohort, member) != home
+
+    def test_replica_shard_is_a_contiguous_onto_cut(self):
+        spec = small_spec(shards=4)
+        shards = [spec.replica_shard(r) for r in range(spec.replicas)]
+        assert shards == sorted(shards)          # contiguous blocks
+        assert set(shards) == set(range(4))      # every shard used
+        # The cut is placement only: logical placement is unchanged.
+        serial = small_spec()
+        for cohort in range(spec.cohort_count):
+            assert spec.home_replica(cohort) == \
+                serial.home_replica(cohort)
+
+    def test_with_topology_changes_placement_only(self):
+        spec = small_spec()
+        moved = spec.with_topology(3, lanes=2)
+        assert (moved.shards, moved.lanes) == (3, 2)
+        assert replace(moved, shards=1, lanes=None) == spec
+
+
+class TestWorldBus:
+    def test_floor_latency_and_total_order(self):
+        bus = WorldBus(epoch=10.0)
+        bus.send(origin=1, target=0, send_time=0.0, latency=2.0,
+                 kind="rumor", payload=("k", "m1"))
+        bus.send(origin=0, target=1, send_time=0.0, latency=25.0,
+                 kind="rumor", payload=("k", "m0"))
+        bus.send(origin=0, target=2, send_time=0.0, latency=2.0,
+                 kind="rumor", payload=("k", "m0"))
+        assert bus.earliest() == 10.0  # floor: latency 2 -> one epoch
+        due = bus.drain_until(30.0)
+        assert [m.key for m in due] == sorted(m.key for m in due)
+        # Same deliver time: origin then per-origin seq break the tie.
+        assert [(m.origin, m.target) for m in due[:2]] == \
+            [(0, 2), (1, 0)]
+        assert bus.pending_count == 0 and bus.earliest() is None
+
+    def test_self_send_is_a_protocol_error(self):
+        bus = WorldBus(epoch=10.0)
+        with pytest.raises(SimulationError):
+            bus.send(origin=2, target=2, send_time=0.0, latency=1.0,
+                     kind="rumor")
+
+    def test_partition_defers_with_original_latency(self):
+        cut = WorldPartition(start=0.0, end=40.0, side=(0,))
+        bus = WorldBus(epoch=10.0, partitions=(cut,))
+        bus.send(origin=0, target=1, send_time=5.0, latency=12.0,
+                 kind="rumor")           # crosses while active
+        bus.send(origin=1, target=2, send_time=5.0, latency=12.0,
+                 kind="rumor")           # same side: unaffected
+        bus.send(origin=0, target=1, send_time=40.0, latency=12.0,
+                 kind="rumor")           # healed: unaffected
+        times = sorted(m.deliver_time for m in bus.drain_until(1e9))
+        assert times == [17.0, 52.0, 52.0]
+        assert bus.deferred_total == 1 and bus.sent_total == 3
+
+
+class TestCohortBuffer:
+    def test_materialization_orders_by_value_key(self):
+        def filled(order):
+            buffer = CohortBuffer(0, expected=3)
+            ops = {
+                "w": lambda: buffer.add_write("s0", "m0", 1.0, 3.0),
+                "r1": lambda: buffer.add_read("s1", ("m0",), 2.0, 4.0),
+                "r2": lambda: buffer.add_read("s2", (), 2.0, 4.0),
+            }
+            for name in order:
+                ops[name]()
+            return buffer.materialize(test_id="t/c0", service="w")
+
+        first = filled(["w", "r1", "r2"])
+        second = filled(["r2", "r1", "w"])  # scrambled arrival
+        assert [(op.agent, op.invoke_local)
+                for op in first.operations] == \
+            [(op.agent, op.invoke_local) for op in second.operations]
+        assert first.agents == ("s0", "s1", "s2")
+
+    def test_completion_tracks_expected_count(self):
+        buffer = CohortBuffer(3, expected=2)
+        assert not buffer.complete and len(buffer) == 0
+        buffer.add_write("s0", "m0", 0.0, 1.0)
+        buffer.add_read("s1", ("m0",), 2.0, 3.0)
+        assert buffer.complete and len(buffer) == 2
+
+
+class TestPlanAssignment:
+    def test_lpt_greedy_with_index_tiebreaks(self):
+        plan = plan_assignment([5.0, 4.0, 3.0, 3.0], lanes=2)
+        assert plan == ((0, 3), (1, 2))
+        assert lane_loads([5.0, 4.0, 3.0, 3.0], plan) == [8.0, 7.0]
+
+    def test_fewer_items_than_lanes_leaves_empty_lanes(self):
+        plan = plan_assignment([1.0, 1.0], lanes=4)
+        assert plan == ((0,), (1,), (), ())
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_assignment([1.0], lanes=0)
+        with pytest.raises(ValueError):
+            plan_assignment([-1.0], lanes=1)
+
+
+class TestSimulatorPeek:
+    def test_next_event_time_tracks_the_live_head(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        handle = sim.schedule_at(5.0, lambda: None)
+        sim.schedule_at(9.0, lambda: None)
+        assert sim.next_event_time() == 5.0
+        handle.cancel()
+        assert sim.next_event_time() == 9.0  # cancelled head skipped
+        sim.run_until(10.0)
+        assert sim.next_event_time() is None
+
+
+class TestWorldParity:
+    def test_every_shard_count_is_byte_identical(self):
+        serial = run_world(small_spec(), seed=7)
+        assert serial.tests == small_spec().cohort_count
+        assert serial.ops == small_spec().sessions  # 1 op/session here
+        for shards in (2, 3, 6):
+            sharded = run_world(
+                small_spec().with_topology(shards), seed=7)
+            assert sharded.signature == serial.signature
+            assert sharded.anomalies == serial.anomalies
+            assert sharded.tests == serial.tests
+
+    def test_lane_packing_is_result_neutral(self):
+        spec = small_spec(shards=3)
+        signatures = {
+            run_world(spec.with_topology(3, lanes=lanes),
+                      seed=1).signature
+            for lanes in (1, 2, 3)
+        }
+        assert len(signatures) == 1
+
+    def test_same_seed_repeats_and_seeds_differ(self):
+        spec = small_spec(shards=2)
+        assert run_world(spec, seed=3).signature == \
+            run_world(spec, seed=3).signature
+        assert run_world(spec, seed=3).signature != \
+            run_world(spec, seed=4).signature
+
+    def test_partition_spanning_the_shard_cut_stays_identical(self):
+        """Regression: a nemesis whose side straddles shards must not
+        break parity — deferral is a pure function of endpoints and
+        times, so where the endpoints physically live is invisible."""
+        cut = WorldPartition(start=10.0, end=60.0, side=(0, 3))
+        spanning = small_spec(partitions=(cut,))
+        serial = run_world(spanning, seed=7)
+        assert serial.bus_deferred > 0  # the nemesis actually bit
+        for shards in (2, 3, 6):
+            sharded = run_world(spanning.with_topology(shards), seed=7)
+            assert sharded.signature == serial.signature
+            assert sharded.bus_deferred == serial.bus_deferred
+        # And the nemesis changes history relative to a calm world.
+        assert serial.signature != \
+            run_world(small_spec(), seed=7).signature
+
+    def test_result_accounting(self):
+        spec = small_spec(shards=2)
+        result = run_world(spec, seed=0)
+        assert result.shards == 2 and result.replicas == spec.replicas
+        assert result.epochs > 0 and result.events_processed > 0
+        assert result.bus_messages > 0
+        assert sorted(index for lane in result.lanes
+                      for index in lane) == [0, 1]
+        assert result.max_stream_state > 0
+        assert result.summary()["signature"] == result.signature
+
+    def test_an_engine_runs_once(self):
+        from repro.world import WorldEngine
+
+        engine = WorldEngine(small_spec(), seed=0)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    replicas=st.integers(min_value=2, max_value=7),
+    shard_pick=st.integers(min_value=2, max_value=7),
+    sessions=st.integers(min_value=6, max_value=40),
+    cohort_size=st.integers(min_value=2, max_value=5),
+    fanout=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2),
+)
+def test_randomized_topologies_match_serial(replicas, shard_pick,
+                                            sessions, cohort_size,
+                                            fanout, seed):
+    """Property: whatever the (shards, lanes) cut drawn, the signature
+    equals the serial (shards=1) run of the same logical world."""
+    shards = 1 + shard_pick % replicas
+    spec = small_spec(
+        sessions=sessions, replicas=replicas, cohort_size=cohort_size,
+        fanout=fanout,
+    )
+    serial = run_world(spec, seed=seed)
+    sharded = run_world(
+        spec.with_topology(shards, lanes=max(1, shards - 1)),
+        seed=seed,
+    )
+    assert sharded.signature == serial.signature
+    assert sharded.anomalies == serial.anomalies
+
+
+class TestScenarioLowering:
+    def test_example_scenario_lowers_and_rescales(self):
+        scenario = load_scenario(SCENARIO)
+        assert scenario.topology is not None
+        assert scenario.topology.shards == 4
+        spec = world_from_scenario(scenario, shards=2, sessions=48)
+        assert (spec.shards, spec.sessions) == (2, 48)
+        assert spec.replicas == scenario.topology.replicas
+        assert spec.name == scenario.name
+
+    def test_scenario_world_parity_across_shard_overrides(self):
+        scenario = load_scenario(SCENARIO)
+        runs = [
+            run_world(world_from_scenario(scenario, shards=shards,
+                                          sessions=36), seed=5)
+            for shards in (1, 4)
+        ]
+        assert runs[0].signature == runs[1].signature
+
+    def test_missing_topology_is_a_configuration_error(self):
+        scenario = load_scenario(SCENARIO)
+        with pytest.raises(ConfigurationError):
+            world_from_scenario(replace(scenario, topology=None))
+
+    def test_non_gossip_archetype_refuses_to_lower(self):
+        scenario = load_scenario(SCENARIO)
+        builtin = replace(
+            scenario,
+            service=ServiceSpec(archetype="builtin", base="blogger"),
+        )
+        with pytest.raises(ConfigurationError):
+            world_from_scenario(builtin)
+
+
+class TestWorldCli:
+    def test_world_command_prints_the_signature(self, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main([
+            "world", "--scenario", SCENARIO,
+            "--sessions", "36", "--shards", "2", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        expected = run_world(
+            world_from_scenario(load_scenario(SCENARIO), shards=2,
+                                sessions=36), seed=5)
+        assert expected.signature in out
+
+    def test_world_command_json_summary(self, capsys):
+        import json
+
+        from repro.cli import main as repro_main
+
+        code = repro_main([
+            "world", "--scenario", SCENARIO,
+            "--sessions", "36", "--json",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["sessions"] == 36
+        assert summary["shards"] == 4  # the scenario's own cut
